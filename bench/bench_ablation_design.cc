@@ -1,0 +1,151 @@
+// Ablation benches for the design choices DESIGN.md calls out — not a
+// paper figure, but the measurements behind three decisions:
+//
+//  A. crack-in-three (single-pass DNF) vs two crack-in-two passes for a
+//     fresh range query (Section 3.1 relies on [7]'s algorithms);
+//  B. the cracker join (Section 3.4 extension): partitioned piece-wise
+//     join vs one flat hash join, as the inputs get more cracked;
+//  C. piece-aware max vs scanning the qualifying area (Section 3.4:
+//     "a max can consider only the last piece of a map").
+
+#include <cstdio>
+
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "cracking/crack.h"
+#include "engine/cracker_join.h"
+
+namespace crackdb::bench {
+namespace {
+
+CrackPairs RandomStore(Rng* rng, size_t n, Value domain) {
+  CrackPairs store;
+  store.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    store.PushBack(rng->Uniform(1, domain), static_cast<Value>(i));
+  }
+  return store;
+}
+
+void AblationCrackInThree(size_t rows) {
+  FigureHeader("ablation-A", "crack-in-three vs two crack-in-twos",
+               "variant", "millis");
+  Rng rng(1);
+  const Value domain = 10'000'000;
+  const CrackPairs pristine = RandomStore(&rng, rows, domain);
+
+  // Variant 1: single-pass crack-in-three.
+  {
+    CrackPairs store;
+    store.head = pristine.head;
+    store.tail = pristine.tail;
+    Timer t;
+    CrackInThree(store, 0, store.size(), Bound{3'000'000, true},
+                 Bound{7'000'000, false});
+    SeriesHeader("crack-in-three");
+    Point(1, t.ElapsedMillis());
+  }
+  // Variant 2: two crack-in-two passes.
+  {
+    CrackPairs store;
+    store.head = pristine.head;
+    store.tail = pristine.tail;
+    Timer t;
+    const size_t lo = CrackInTwo(store, 0, store.size(),
+                                 Bound{3'000'000, true});
+    CrackInTwo(store, lo, store.size(), Bound{7'000'000, false});
+    SeriesHeader("two-crack-in-twos");
+    Point(1, t.ElapsedMillis());
+  }
+}
+
+void AblationCrackerJoin(size_t rows) {
+  FigureHeader("ablation-B", "piece-wise cracker join vs flat hash join",
+               "cracks_on_inputs", "millis flat_millis");
+  Rng rng(2);
+  const Value domain = static_cast<Value>(rows / 4);  // dense join keys
+  CrackPairs left = RandomStore(&rng, rows, domain);
+  CrackPairs right = RandomStore(&rng, rows, domain);
+  CrackerIndex li, ri;
+  SeriesHeader("cracker-join-vs-hash");
+  size_t cracks = 0;
+  for (const size_t target : {0u, 8u, 64u, 256u}) {
+    while (cracks < target) {
+      const Value lo = rng.Uniform(1, domain - domain / 20);
+      CrackOnPredicate(left, li, RangePredicate::Closed(lo, lo + domain / 20));
+      const Value lo2 = rng.Uniform(1, domain - domain / 20);
+      CrackOnPredicate(right, ri,
+                       RangePredicate::Closed(lo2, lo2 + domain / 20));
+      ++cracks;
+    }
+    Timer t_pieces;
+    const JoinPairs piecewise = CrackerHeadJoin(left, li, right, ri);
+    const double piece_ms = t_pieces.ElapsedMillis();
+    Timer t_flat;
+    const JoinPairs flat = HashJoin(left.head, right.head);
+    const double flat_ms = t_flat.ElapsedMillis();
+    if (piecewise.size() != flat.size()) {
+      std::printf("# MISMATCH: %zu vs %zu pairs\n", piecewise.size(),
+                  flat.size());
+    }
+    Point(static_cast<double>(target), piece_ms, flat_ms);
+  }
+}
+
+void AblationPieceMax(size_t rows) {
+  FigureHeader("ablation-C", "piece-aware max vs area scan",
+               "variant", "micros");
+  Rng rng(3);
+  const Value domain = 10'000'000;
+  CrackPairs store = RandomStore(&rng, rows, domain);
+  CrackerIndex index;
+  for (int q = 0; q < 128; ++q) {
+    const Value lo = rng.Uniform(1, domain - domain / 10);
+    CrackOnPredicate(store, index,
+                     RangePredicate::Closed(lo, lo + domain / 10));
+  }
+  const RangePredicate pred =
+      RangePredicate::Closed(domain / 4, 3 * (domain / 4));
+  CrackOnPredicate(store, index, pred);
+
+  Timer t_piece;
+  Value piece_max = 0;
+  for (int rep = 0; rep < 100; ++rep) {
+    piece_max = HeadMaxInArea(store, index, pred);
+  }
+  SeriesHeader("piece-aware-max");
+  Point(1, t_piece.ElapsedMicros() / 100.0);
+
+  Timer t_scan;
+  Value scan_max = kMinValue;
+  for (int rep = 0; rep < 100; ++rep) {
+    scan_max = kMinValue;
+    const PositionRange area = index.FindArea(pred, store.size());
+    for (size_t i = area.begin; i < area.end; ++i) {
+      if (store.head[i] > scan_max) scan_max = store.head[i];
+    }
+  }
+  SeriesHeader("area-scan-max");
+  Point(1, t_scan.ElapsedMicros() / 100.0);
+  if (piece_max != scan_max) std::printf("# MISMATCH in max ablation\n");
+}
+
+void Run(const BenchArgs& args) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 10'000'000
+                                         : 1'000'000;
+  std::printf("# ablation: rows=%zu\n", rows);
+  AblationCrackInThree(rows);
+  AblationCrackerJoin(rows / 4);
+  AblationPieceMax(rows);
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,91 @@
+#ifndef CRACKDB_BENCH_BENCH_COMMON_H_
+#define CRACKDB_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "bench_util/workload.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "engine/partial_engine.h"
+#include "engine/plain_engine.h"
+#include "engine/presorted_engine.h"
+#include "engine/row_engine.h"
+#include "engine/selection_cracking_engine.h"
+#include "engine/sideways_engine.h"
+#include "storage/relation.h"
+
+namespace crackdb::bench {
+
+/// Engine factory shared by the figure-reproduction binaries.
+inline std::unique_ptr<Engine> MakeEngine(const std::string& kind,
+                                          const Relation& relation) {
+  if (kind == "plain") return std::make_unique<PlainEngine>(relation);
+  if (kind == "presorted") return std::make_unique<PresortedEngine>(relation);
+  if (kind == "selection-cracking") {
+    return std::make_unique<SelectionCrackingEngine>(relation);
+  }
+  if (kind == "sideways") return std::make_unique<SidewaysEngine>(relation);
+  if (kind == "partial") {
+    return std::make_unique<PartialSidewaysEngine>(relation);
+  }
+  if (kind == "row") return std::make_unique<RowEngine>(relation, false);
+  if (kind == "row-presorted") {
+    return std::make_unique<RowEngine>(relation, true);
+  }
+  return nullptr;
+}
+
+/// The Section 4.2 workload: an 11-attribute relation and five query types
+///   (Qi) select Ci from R where v1 < A < v2 and v3 < Bi < v4
+/// sharing the head attribute A=A1 but touching different Bi (A2..A6) and
+/// Ci (A7..A11), run in batches per type. Each query selects a random
+/// range of `result_rows` tuples on A.
+struct QiWorkload {
+  Value domain = 10'000'000;
+  size_t rows = 0;
+  size_t result_rows = 0;
+  bool skewed = false;          // Figure 10(b): 9/10 queries in 20% of domain
+  double hot_fraction = 0.2;
+
+  QuerySpec Make(size_t type, Rng* rng) const {
+    const double fraction =
+        static_cast<double>(result_rows) / static_cast<double>(rows);
+    RangePredicate head;
+    if (skewed) {
+      bench::SkewedRangeGen gen;
+      gen.domain_lo = 1;
+      gen.domain_hi = domain;
+      gen.hot_fraction = hot_fraction;
+      gen.hot_probability = 0.9;
+      gen.selectivity = fraction;
+      head = gen.Next(rng);
+    } else {
+      head = bench::RandomRange(rng, 1, domain, fraction);
+    }
+    QuerySpec spec;
+    spec.selections = {
+        {bench::AttrName(1), head},
+        {bench::AttrName(2 + type), bench::RandomRange(rng, 1, domain, 0.5)},
+    };
+    spec.projections = {bench::AttrName(7 + type)};
+    return spec;
+  }
+};
+
+/// Auxiliary-structure storage in tuples for the engines the Section 4.2
+/// figures track.
+inline size_t AuxStorageTuples(const Engine& engine) {
+  if (const auto* full = dynamic_cast<const SidewaysEngine*>(&engine)) {
+    return full->MapStorageTuples();
+  }
+  if (const auto* partial =
+          dynamic_cast<const PartialSidewaysEngine*>(&engine)) {
+    return partial->ChunkStorageTuples();
+  }
+  return 0;
+}
+
+}  // namespace crackdb::bench
+
+#endif  // CRACKDB_BENCH_BENCH_COMMON_H_

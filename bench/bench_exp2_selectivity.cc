@@ -1,0 +1,63 @@
+// Exp2 (paper Figure 4(b)): q1 with two tuple reconstructions, varying the
+// selectivity factor from point queries to 90%. Per selectivity the figure
+// plots sideways cracking's per-query response time *relative to plain*
+// over the query sequence: values < 1 mean sideways is faster; the curve
+// dives as the maps get reorganized.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+constexpr Value kDomain = 10'000'000;
+
+void Run(const BenchArgs& args) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 10'000'000
+                                         : 200'000;
+  const size_t queries = args.queries != 0 ? args.queries
+                         : args.paper_scale ? 1000
+                                            : 60;
+  Catalog catalog;
+  Rng data_rng(args.seed);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 3, rows, kDomain,
+                                        &data_rng);
+  std::printf("# exp2: rows=%zu queries=%zu\n", rows, queries);
+
+  FigureHeader("4b", "sideways cracking response time relative to plain",
+               "query_sequence", "relative_time");
+  const double selectivities[] = {0.0, 0.1, 0.3, 0.5, 0.7, 0.9};
+  for (const double sel : selectivities) {
+    SeriesHeader(sel == 0.0 ? "point" : ("sel" + Fmt(sel * 100, 0)));
+    std::unique_ptr<Engine> plain = MakeEngine("plain", rel);
+    std::unique_ptr<Engine> sideways = MakeEngine("sideways", rel);
+    Rng rng(args.seed + static_cast<uint64_t>(sel * 100));
+    for (size_t q = 0; q < queries; ++q) {
+      QuerySpec spec;
+      spec.selections = {{AttrName(1), RandomRange(&rng, 1, kDomain, sel)}};
+      spec.projections = {AttrName(2), AttrName(3)};
+      const double side = RunTimed(sideways.get(), spec).timing.total_micros;
+      const double base = RunTimed(plain.get(), spec).timing.total_micros;
+      // Log-friendly x: print every query early on, then every 10th.
+      if (q < 20 || q % 10 == 0 || q + 1 == queries) {
+        Point(static_cast<double>(q + 1), side / base);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Exp3 (paper inset figure, Section 3.6): can reordering the unordered
+// intermediate results of selection cracking salvage its reconstruction
+// cost? Compares, for 1/2/4/8 tuple reconstructions over the same
+// intermediate key list:
+//   - plain MonetDB-style ordered reconstruction (keys already in order),
+//   - selection cracking's unordered reconstruction (random access),
+//   - sorting the keys once, then ordered reconstruction,
+//   - radix-clustering the keys to cache-sized regions, then clustered
+//     reconstruction ([10]).
+// The paper's observation: sorting/clustering pays off only when several
+// reconstructions share one intermediate (4+/8+), and never beats data
+// that is already aligned.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "common/timer.h"
+#include "engine/reorder.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 10'000'000
+                                         : 2'000'000;
+  const double selectivity = 0.2;
+  Catalog catalog;
+  Rng rng(args.seed);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 9, rows, 10'000'000,
+                                        &rng);
+  std::printf("# exp3: rows=%zu selectivity=%.2f\n", rows, selectivity);
+
+  // Build the intermediate: an ordered key list (plain) and a cracked-order
+  // shuffle of it (selection cracking's output shape).
+  const size_t k = static_cast<size_t>(static_cast<double>(rows) *
+                                       selectivity);
+  std::vector<Key> ordered(k);
+  for (size_t i = 0; i < k; ++i) {
+    ordered[i] = static_cast<Key>(i * (rows / k));
+  }
+  std::vector<Key> cracked = ordered;
+  for (size_t i = k; i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.Uniform(0, static_cast<Value>(i) - 1));
+    std::swap(cracked[i - 1], cracked[j]);
+  }
+
+  FigureHeader("exp3", "reconstruction cost vs #reconstructions",
+               "tuple_reconstructions", "seconds");
+  const unsigned region_bits = 14;  // ~16K-entry regions: cache resident
+
+  for (const size_t num_tr : {1u, 2u, 4u, 8u}) {
+    // Plain: ordered keys, sequential gather per reconstruction.
+    Timer t_plain;
+    for (size_t r = 0; r < num_tr; ++r) {
+      ReconstructUnordered(rel.column(AttrName(2 + r)), ordered);
+    }
+    const double plain_s = t_plain.ElapsedSeconds();
+
+    // Selection cracking: unordered keys, random access per reconstruction.
+    Timer t_unordered;
+    for (size_t r = 0; r < num_tr; ++r) {
+      ReconstructUnordered(rel.column(AttrName(2 + r)), cracked);
+    }
+    const double unordered_s = t_unordered.ElapsedSeconds();
+
+    // Sort once, then ordered reconstructions.
+    std::vector<Key> sort_keys = cracked;
+    Timer t_sort;
+    ReconstructViaSort(rel.column(AttrName(2)), &sort_keys);
+    for (size_t r = 1; r < num_tr; ++r) {
+      ReconstructUnordered(rel.column(AttrName(2 + r)), sort_keys);
+    }
+    const double sort_s = t_sort.ElapsedSeconds();
+
+    // Radix-cluster once, then clustered reconstructions.
+    std::vector<Key> radix_keys = cracked;
+    Timer t_radix;
+    ReconstructViaRadixCluster(rel.column(AttrName(2)), &radix_keys,
+                               region_bits);
+    for (size_t r = 1; r < num_tr; ++r) {
+      ReconstructUnordered(rel.column(AttrName(2 + r)), radix_keys);
+    }
+    const double radix_s = t_radix.ElapsedSeconds();
+
+    std::printf("# num_tr=%zu\n", num_tr);
+    SeriesHeader("plain-ordered-TR");
+    Point(static_cast<double>(num_tr), plain_s);
+    SeriesHeader("selection-cracking-unordered-TR");
+    Point(static_cast<double>(num_tr), unordered_s);
+    SeriesHeader("sort+ordered-TR");
+    Point(static_cast<double>(num_tr), sort_s);
+    SeriesHeader("radix-cluster+clustered-TR");
+    Point(static_cast<double>(num_tr), radix_s);
+  }
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Exp6 (paper Figure 7(a,b)): q3 queries with interleaved random updates.
+// Two scenarios:
+//   LFHV — low frequency, high volume: every Nq queries, Nq updates;
+//   HFLV — high frequency, low volume: every 10 queries, 10 updates.
+// Cracking approaches merge pending updates on demand via Ripple; plain
+// applies tombstones/appends directly. Presorted is omitted: the paper
+// notes there is no efficient way to maintain sorted copies under updates.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+constexpr Value kDomain = 10'000'000;
+
+void RunScenario(const BenchArgs& args, const std::string& name,
+                 size_t update_period, size_t update_volume, size_t rows,
+                 size_t queries) {
+  std::printf("\n# scenario %s: %zu updates every %zu queries\n",
+              name.c_str(), update_volume, update_period);
+  FigureHeader(name == "LFHV" ? "7a" : "7b",
+               "response time under updates (" + name + ")",
+               "query_sequence", "micros");
+  const std::vector<std::string> systems = {"sideways", "selection-cracking",
+                                            "plain"};
+  for (const std::string& system : systems) {
+    // Fresh relation per system so each sees the same update stream.
+    Catalog catalog;
+    Rng data_rng(args.seed);
+    Relation& rel = CreateUniformRelation(&catalog, "R", 3, rows, kDomain,
+                                          &data_rng);
+    std::unique_ptr<Engine> engine = MakeEngine(system, rel);
+    SeriesHeader(system);
+    Rng rng(args.seed + 13);
+    for (size_t q = 0; q < queries; ++q) {
+      if (q != 0 && q % update_period == 0) {
+        ApplyRandomUpdates(&rel, kDomain, update_volume, &rng);
+      }
+      QuerySpec spec;
+      spec.selections = {{AttrName(1), RandomRange(&rng, 1, kDomain, 0.2)}};
+      spec.projections = {AttrName(2), AttrName(3)};
+      const QueryTiming t = RunTimed(engine.get(), spec).timing;
+      if (q < 30 || q % 5 == 0 || (q % update_period) < 2) {
+        Point(static_cast<double>(q + 1), t.total_micros);
+      }
+    }
+  }
+}
+
+void Run(const BenchArgs& args) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 10'000'000
+                                         : 200'000;
+  const size_t queries = args.queries != 0 ? args.queries
+                         : args.paper_scale ? 10'000
+                                            : 300;
+  std::printf("# exp6: rows=%zu queries=%zu\n", rows, queries);
+  // LFHV: batch of `period` updates every `period` queries.
+  const size_t lfhv_period = args.paper_scale ? 1000 : 100;
+  RunScenario(args, "LFHV", lfhv_period, lfhv_period, rows, queries);
+  RunScenario(args, "HFLV", 10, 10, rows, queries);
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

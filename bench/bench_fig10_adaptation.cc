@@ -1,0 +1,86 @@
+// Figure 10 (paper Section 4.2, "Adaptation"): the Qi workload focused on
+// small data parts, either by higher selectivity (a: S=1K uniform) or by
+// skew (b: S=10K, 9/10 queries in 20% of the domain), both under
+// T ~ 6.5 full maps. Partial maps materialize only the touched chunks and
+// avoid the threshold entirely; full maps blow through it and pay
+// recreation peaks. Panel (c) tracks storage used.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+void RunCase(const Relation& rel, const QiWorkload& workload, size_t budget,
+             size_t queries, size_t batch, uint64_t seed,
+             const std::string& label) {
+  std::printf("\n# case %s\n", label.c_str());
+  FigureHeader("10-" + label, "per-query cost (" + label + ")",
+               "query_sequence", "micros storage_tuples");
+  struct SystemRun {
+    std::string name;
+    std::unique_ptr<Engine> engine;
+  };
+  std::vector<SystemRun> systems;
+  systems.push_back({"full-maps",
+                     std::make_unique<SidewaysEngine>(rel, budget)});
+  PartialConfig config;
+  config.storage_budget_tuples = budget;
+  systems.push_back(
+      {"partial-maps", std::make_unique<PartialSidewaysEngine>(rel, config)});
+  for (SystemRun& run : systems) {
+    SeriesHeader(run.name);
+    Rng rng(seed);
+    for (size_t q = 0; q < queries; ++q) {
+      const QuerySpec spec = workload.Make((q / batch) % 5, &rng);
+      const QueryTiming t = RunTimed(run.engine.get(), spec).timing;
+      if (q < 5 || q % 10 == 0 || (q % batch) < 3) {
+        std::printf("%zu %.1f %zu\n", q + 1, t.total_micros,
+                    AuxStorageTuples(*run.engine));
+      }
+    }
+  }
+}
+
+void Run(const BenchArgs& args) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 1'000'000
+                                         : 100'000;
+  const size_t queries = args.queries != 0 ? args.queries
+                         : args.paper_scale ? 1000
+                                            : 300;
+  const size_t batch = queries / 10;
+  Catalog catalog;
+  Rng data_rng(args.seed);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 11, rows, 10'000'000,
+                                        &data_rng);
+  const size_t budget = static_cast<size_t>(6.5 * static_cast<double>(rows));
+  std::printf("# fig10: rows=%zu queries=%zu T=%zu\n", rows, queries, budget);
+
+  QiWorkload selective;
+  selective.rows = rows;
+  selective.result_rows = rows / 1000;  // paper: S=1K of 1M
+  RunCase(rel, selective, budget, queries, batch, args.seed + 1,
+          "random-S0.1pct");
+
+  QiWorkload skewed;
+  skewed.rows = rows;
+  skewed.result_rows = rows / 100;  // paper: S=10K of 1M
+  skewed.skewed = true;
+  RunCase(rel, skewed, budget, queries, batch, args.seed + 1, "skewed-S1pct");
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

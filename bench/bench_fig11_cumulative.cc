@@ -1,0 +1,93 @@
+// Figure 11 (paper Section 4.2, "No Overhead in Query Sequence Cost"):
+// the *total* cost of the 1000-query Qi sequence as a function of the
+// result size S and the storage threshold T. The paper's claim: partial
+// maps' smoother behaviour is free — for selective workloads they beat
+// full maps outright, and only around ~30% selectivity do the totals meet.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "common/timer.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+double RunSequence(Engine* engine, const Relation& rel,
+                   const QiWorkload& workload, size_t queries, size_t batch,
+                   uint64_t seed) {
+  (void)rel;
+  Rng rng(seed);
+  Timer total;
+  for (size_t q = 0; q < queries; ++q) {
+    const QuerySpec spec = workload.Make((q / batch) % 5, &rng);
+    RunTimed(engine, spec);
+  }
+  return total.ElapsedSeconds();
+}
+
+void Run(const BenchArgs& args) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 1'000'000
+                                         : 60'000;
+  const size_t queries = args.queries != 0 ? args.queries
+                         : args.paper_scale ? 1000
+                                            : 200;
+  const size_t batch = queries / 10;
+  Catalog catalog;
+  Rng data_rng(args.seed);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 11, rows, 10'000'000,
+                                        &data_rng);
+  std::printf("# fig11: rows=%zu queries=%zu\n", rows, queries);
+
+  // Paper S values 1K/10K/100K/300K of 1M rows -> fractions.
+  const double fractions[] = {0.001, 0.01, 0.1, 0.3};
+  struct Threshold {
+    std::string label;
+    size_t tuples;
+  };
+  const Threshold thresholds[] = {
+      {"noT", 0},
+      {"6.5maps", static_cast<size_t>(6.5 * static_cast<double>(rows))},
+      {"2maps", 2 * rows},
+  };
+
+  FigureHeader("11", "total cost of the query sequence", "result_fraction",
+               "seconds");
+  for (const Threshold& t : thresholds) {
+    for (const char* kind : {"full", "partial"}) {
+      SeriesHeader(std::string(kind) + "-T=" + t.label);
+      for (const double f : fractions) {
+        QiWorkload workload;
+        workload.rows = rows;
+        workload.result_rows =
+            static_cast<size_t>(f * static_cast<double>(rows));
+        if (workload.result_rows == 0) workload.result_rows = 1;
+        std::unique_ptr<Engine> engine;
+        if (std::string(kind) == "full") {
+          engine = std::make_unique<SidewaysEngine>(rel, t.tuples);
+        } else {
+          PartialConfig config;
+          config.storage_budget_tuples = t.tuples;
+          engine = std::make_unique<PartialSidewaysEngine>(rel, config);
+        }
+        const double secs = RunSequence(engine.get(), rel, workload, queries,
+                                        batch, args.seed + 1);
+        Point(f, secs);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 12 (paper Section 4.2, "Adapting to Frequently Changing
+// Workloads"): total cost of the 1000-query sequence as the workload
+// switches between the five Qi types more and more often (5..1000 changes
+// per 1000 queries) under T ~ 6 full maps. Full maps must drop/recreate
+// whole maps at every switch and degrade sharply; partial maps keep the
+// hot chunks of every type alive and stay nearly flat.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "common/timer.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 1'000'000
+                                         : 60'000;
+  const size_t queries = args.queries != 0 ? args.queries
+                         : args.paper_scale ? 1000
+                                            : 200;
+  Catalog catalog;
+  Rng data_rng(args.seed);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 11, rows, 10'000'000,
+                                        &data_rng);
+  const size_t budget = 6 * rows;
+  QiWorkload workload;
+  workload.rows = rows;
+  workload.result_rows = rows / 100;  // S=10K of 1M
+  std::printf("# fig12: rows=%zu queries=%zu T=%zu\n", rows, queries, budget);
+
+  FigureHeader("12", "total sequence cost vs workload change rate",
+               "changes_per_sequence", "seconds");
+  const double change_fractions[] = {0.005, 0.01, 0.05, 0.1, 0.5, 1.0};
+  for (const char* kind : {"full", "partial"}) {
+    SeriesHeader(kind);
+    for (const double cf : change_fractions) {
+      size_t period = static_cast<size_t>(1.0 / cf);
+      if (period == 0) period = 1;
+      std::unique_ptr<Engine> engine;
+      if (std::string(kind) == "full") {
+        engine = std::make_unique<SidewaysEngine>(rel, budget);
+      } else {
+        PartialConfig config;
+        config.storage_budget_tuples = budget;
+        engine = std::make_unique<PartialSidewaysEngine>(rel, config);
+      }
+      Rng rng(args.seed + 3);
+      Timer total;
+      for (size_t q = 0; q < queries; ++q) {
+        const size_t type = (q / period) % 5;
+        RunTimed(engine.get(), workload.Make(type, &rng));
+      }
+      Point(cf * static_cast<double>(queries), total.ElapsedSeconds());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 13 (paper Section 4.2, "Alignment Improvements"): two query types
+// alternate with no storage limit, switching every 10/100/200 queries.
+// Full maps pay alignment peaks at every switch (the returning type's maps
+// replay all cracks of the other type's batch — the longer the batch, the
+// higher the peak); partial maps align only the chunks a query touches,
+// and only as far as the query's own chunk cursors require.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+void RunCase(const Relation& rel, const QiWorkload& workload, size_t period,
+             size_t queries, uint64_t seed) {
+  std::printf("\n# switch every %zu queries\n", period);
+  FigureHeader("13-every" + std::to_string(period),
+               "per-query cost, alternating two query types",
+               "query_sequence", "micros");
+  struct SystemRun {
+    std::string name;
+    std::unique_ptr<Engine> engine;
+  };
+  std::vector<SystemRun> systems;
+  systems.push_back({"full-maps", std::make_unique<SidewaysEngine>(rel, 0)});
+  systems.push_back(
+      {"partial-maps",
+       std::make_unique<PartialSidewaysEngine>(rel, PartialConfig{})});
+  for (SystemRun& run : systems) {
+    SeriesHeader(run.name);
+    Rng rng(seed);
+    for (size_t q = 0; q < queries; ++q) {
+      const size_t type = (q / period) % 2;  // two query types only
+      const QuerySpec spec = workload.Make(type, &rng);
+      const QueryTiming t = RunTimed(run.engine.get(), spec).timing;
+      if (q < 5 || q % 5 == 0 || (q % period) < 2) {
+        Point(static_cast<double>(q + 1), t.total_micros);
+      }
+    }
+  }
+}
+
+void Run(const BenchArgs& args) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 1'000'000
+                                         : 100'000;
+  const size_t queries = args.queries != 0 ? args.queries
+                         : args.paper_scale ? 1000
+                                            : 400;
+  Catalog catalog;
+  Rng data_rng(args.seed);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 11, rows, 10'000'000,
+                                        &data_rng);
+  QiWorkload workload;
+  workload.rows = rows;
+  workload.result_rows = rows / 100;
+  std::printf("# fig13: rows=%zu queries=%zu (no storage limit)\n", rows,
+              queries);
+  RunCase(rel, workload, 10, queries, args.seed + 1);
+  RunCase(rel, workload, 100, queries, args.seed + 1);
+  RunCase(rel, workload, 200, queries, args.seed + 1);
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

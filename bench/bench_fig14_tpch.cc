@@ -1,0 +1,110 @@
+// Figure 14 + the SiCr/PrMo benefit table (paper Section 5): the twelve
+// TPC-H queries with at least one selection on a non-string attribute
+// (1, 3, 4, 6, 7, 8, 10, 12, 14, 15, 19, 20), each run as a sequence of
+// random parameter variations on five systems:
+//   plain column-store, presorted column-store (presort cost reported
+//   separately), selection cracking, sideways cracking, and a presorted
+//   row-store (the MySQL stand-in).
+// The benefit table summarizes average improvement over plain for sideways
+// cracking (SiCr) and presorted (PrMo).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "common/timer.h"
+#include "tpch/queries.h"
+
+namespace crackdb::bench {
+namespace {
+
+using tpch::EngineSet;
+using tpch::TpchDatabase;
+using tpch::TpchQueryDef;
+
+EngineSet MakeSet(TpchDatabase& db, const std::string& kind) {
+  return EngineSet(db, kind, [kind](const Relation& rel) {
+    return MakeEngine(kind, rel);
+  });
+}
+
+void Run(const BenchArgs& args) {
+  const double sf = args.scale_factor > 0 ? args.scale_factor
+                    : args.paper_scale ? 1.0
+                                       : 0.05;
+  const size_t variations = args.queries != 0 ? args.queries : 30;
+  Timer gen_timer;
+  TpchDatabase db(sf, args.seed);
+  std::printf("# fig14: sf=%.3f variations=%zu (generated in %.1f s)\n", sf,
+              variations, gen_timer.ElapsedSeconds());
+
+  const std::vector<std::string> systems = {
+      "plain", "presorted", "selection-cracking", "sideways",
+      "row-presorted"};
+
+  std::map<std::string, std::map<int, double>> total_ms;  // system -> q -> ms
+
+  for (const TpchQueryDef& query : tpch::AllQueries()) {
+    std::printf("\n");
+    FigureHeader("14-Q" + std::to_string(query.number),
+                 "TPC-H Q" + std::to_string(query.number) + " (" +
+                     query.name + ") response time",
+                 "query_sequence", "millis");
+    for (const std::string& system : systems) {
+      EngineSet engines = MakeSet(db, system);
+      SeriesHeader(system);
+      Rng rng(args.seed + static_cast<uint64_t>(query.number));
+      double total = 0;
+      double prepare_total = 0;
+      for (size_t v = 0; v < variations; ++v) {
+        const tpch::QueryParams params = query.randomize(db, rng);
+        const double prepare_before = engines.TotalPrepareMicros();
+        Timer timer;
+        const tpch::TpchResult result = query.run(db, engines, params);
+        // Physical-design preparation (presorting copies) is reported
+        // separately, as in the paper's Figure 14 caption.
+        const double prepare_delta =
+            engines.TotalPrepareMicros() - prepare_before;
+        const double ms = timer.ElapsedMillis() - prepare_delta / 1000.0;
+        prepare_total += prepare_delta;
+        total += ms;
+        Point(static_cast<double>(v + 1), ms);
+        (void)result;
+      }
+      if (prepare_total > 0) {
+        std::printf("# preparation (presorting) cost: %.1f ms, excluded\n",
+                    prepare_total / 1000.0);
+      }
+      total_ms[system][query.number] = total;
+    }
+  }
+
+  // Benefit table: average improvement over plain across the sequence.
+  std::printf("\n# table: benefit over plain (positive = faster), as in the "
+              "paper's SiCr/PrMo table\n");
+  TablePrinter table({"Q", "SiCr", "PrMo", "SelCr", "RowPre"});
+  for (const TpchQueryDef& query : tpch::AllQueries()) {
+    const double plain = total_ms["plain"][query.number];
+    auto pct = [plain](double other) {
+      return Fmt((1.0 - other / plain) * 100.0, 0) + "%";
+    };
+    table.AddRow({"Q" + std::to_string(query.number),
+                  pct(total_ms["sideways"][query.number]),
+                  pct(total_ms["presorted"][query.number]),
+                  pct(total_ms["selection-cracking"][query.number]),
+                  pct(total_ms["row-presorted"][query.number])});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Final TPC-H experiment (paper Section 5, last figure): a mixed workload
+// of 5 sequential batches, each running all twelve evaluated queries with
+// fresh random parameters, plotting sideways cracking's response time
+// relative to the plain column-store. Cross-query reuse of maps and
+// partitioning information makes many queries faster already in the first
+// batch.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "common/timer.h"
+#include "tpch/queries.h"
+
+namespace crackdb::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  const double sf = args.scale_factor > 0 ? args.scale_factor
+                    : args.paper_scale ? 1.0
+                                       : 0.05;
+  const size_t batches = 5;
+  tpch::TpchDatabase db(sf, args.seed);
+  std::printf("# fig15: sf=%.3f batches=%zu x %zu queries\n", sf, batches,
+              tpch::AllQueries().size());
+
+  tpch::EngineSet plain(db, "plain", [](const Relation& rel) {
+    return MakeEngine("plain", rel);
+  });
+  tpch::EngineSet sideways(db, "sideways", [](const Relation& rel) {
+    return MakeEngine("sideways", rel);
+  });
+
+  FigureHeader("15", "mixed TPC-H workload, sideways relative to plain",
+               "query_sequence", "relative_time");
+  SeriesHeader("sideways/plain");
+  Rng rng(args.seed + 5);
+  size_t position = 0;
+  for (size_t b = 0; b < batches; ++b) {
+    for (const tpch::TpchQueryDef& query : tpch::AllQueries()) {
+      const tpch::QueryParams params = query.randomize(db, rng);
+      Timer t_plain;
+      query.run(db, plain, params);
+      const double plain_ms = t_plain.ElapsedMillis();
+      Timer t_side;
+      query.run(db, sideways, params);
+      const double side_ms = t_side.ElapsedMillis();
+      ++position;
+      std::printf("%zu %.3f # batch=%zu Q%d\n", position, side_ms / plain_ms,
+                  b + 1, query.number);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 9 (paper Section 4.2, "Handling Storage Restrictions"): the Qi
+// batch workload under three storage thresholds
+//   (a) unlimited, (b) T ~ 6.5 full maps, (c) T ~ 2 full maps,
+// comparing full maps (per-batch creation/alignment/recreation peaks)
+// against partial maps (smooth, chunk-granular). Panel (d) tracks the
+// auxiliary storage used over the sequence.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+void RunCase(const Relation& rel, const QiWorkload& workload,
+             size_t budget_tuples, size_t queries, size_t batch,
+             uint64_t seed, const std::string& label) {
+  std::printf("\n# threshold %s\n", label.c_str());
+  FigureHeader("9-" + label, "per-query cost, T=" + label, "query_sequence",
+               "micros storage_tuples");
+  struct SystemRun {
+    std::string name;
+    std::unique_ptr<Engine> engine;
+  };
+  std::vector<SystemRun> systems;
+  systems.push_back({"full-maps",
+                     std::make_unique<SidewaysEngine>(rel, budget_tuples)});
+  PartialConfig config;
+  config.storage_budget_tuples = budget_tuples;
+  systems.push_back(
+      {"partial-maps",
+       std::make_unique<PartialSidewaysEngine>(rel, config)});
+
+  for (SystemRun& run : systems) {
+    SeriesHeader(run.name);
+    Rng rng(seed);
+    for (size_t q = 0; q < queries; ++q) {
+      const size_t type = (q / batch) % 5;
+      const QuerySpec spec = workload.Make(type, &rng);
+      const QueryTiming t = RunTimed(run.engine.get(), spec).timing;
+      const size_t storage = AuxStorageTuples(*run.engine);
+      if (q < 5 || q % 10 == 0 || (q % batch) < 3) {
+        std::printf("%zu %.1f %zu\n", q + 1, t.total_micros, storage);
+      }
+    }
+  }
+}
+
+void Run(const BenchArgs& args) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 1'000'000
+                                         : 100'000;
+  const size_t queries = args.queries != 0 ? args.queries
+                         : args.paper_scale ? 1000
+                                            : 300;
+  const size_t batch = queries / 10;  // 5 types, cycled twice
+  Catalog catalog;
+  Rng data_rng(args.seed);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 11, rows, 10'000'000,
+                                        &data_rng);
+  QiWorkload workload;
+  workload.rows = rows;
+  workload.result_rows = rows / 100;  // paper: S=10K of 1M
+  std::printf("# fig9: rows=%zu queries=%zu batch=%zu S=%zu\n", rows, queries,
+              batch, workload.result_rows);
+
+  RunCase(rel, workload, 0, queries, batch, args.seed + 1, "unlimited");
+  RunCase(rel, workload, static_cast<size_t>(6.5 * static_cast<double>(rows)),
+          queries, batch, args.seed + 1, "6.5maps");
+  RunCase(rel, workload, 2 * rows, queries, batch, args.seed + 1, "2maps");
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  crackdb::bench::Run(crackdb::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the core cracking primitives:
+// crack-in-two/three, AVL cracker-index operations, ripple updates, and
+// the bit-vector refinement loop. These are the building blocks whose
+// costs compose into every figure of the paper.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bitvector.h"
+#include "common/rng.h"
+#include "cracking/crack.h"
+#include "cracking/cracker_index.h"
+#include "updates/ripple.h"
+
+namespace crackdb {
+namespace {
+
+CrackPairs MakeStore(size_t n, Value domain, uint64_t seed) {
+  Rng rng(seed);
+  CrackPairs store;
+  store.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    store.PushBack(rng.Uniform(1, domain), static_cast<Value>(i));
+  }
+  return store;
+}
+
+void BM_CrackInTwo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CrackPairs pristine = MakeStore(n, 1'000'000, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrackPairs store = pristine;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        CrackInTwo(store, 0, store.size(), Bound{500'000, true}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CrackInTwo)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_CrackInThree(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CrackPairs pristine = MakeStore(n, 1'000'000, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrackPairs store = pristine;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(CrackInThree(store, 0, store.size(),
+                                          Bound{300'000, true},
+                                          Bound{700'000, false}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CrackInThree)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_QuerySequenceCracking(benchmark::State& state) {
+  // Cost of the q-th query in a cracking sequence: pieces shrink, work
+  // drops — the self-organizing effect in isolation.
+  const size_t n = 1 << 18;
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrackPairs store = MakeStore(n, 1'000'000, 3);
+    CrackerIndex index;
+    Rng rng(4);
+    state.ResumeTiming();
+    for (int q = 0; q < state.range(0); ++q) {
+      const Value lo = rng.Uniform(1, 800'000);
+      CrackOnPredicate(store, index, RangePredicate::Closed(lo, lo + 200'000));
+    }
+  }
+}
+BENCHMARK(BM_QuerySequenceCracking)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_CrackerIndexLookup(benchmark::State& state) {
+  CrackerIndex index;
+  Rng rng(5);
+  for (int i = 0; i < state.range(0); ++i) {
+    index.AddSplit(Bound{rng.Uniform(1, 1'000'000), true},
+                   static_cast<size_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.FindPiece(Bound{rng.Uniform(1, 1'000'000), true}, 1 << 20));
+  }
+}
+BENCHMARK(BM_CrackerIndexLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RippleInsert(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  CrackPairs store = MakeStore(n, 1'000'000, 6);
+  CrackerIndex index;
+  Rng rng(7);
+  // Pre-crack into pieces so inserts must ripple through boundaries.
+  for (int i = 0; i < state.range(0); ++i) {
+    const Value lo = rng.Uniform(1, 900'000);
+    CrackOnPredicate(store, index, RangePredicate::Closed(lo, lo + 50'000));
+  }
+  for (auto _ : state) {
+    RippleInsert(store, index, rng.Uniform(1, 1'000'000), 0);
+  }
+  state.SetLabel(std::to_string(index.num_splits()) + " splits");
+}
+BENCHMARK(BM_RippleInsert)->Arg(4)->Arg(64)->Arg(512);
+
+void BM_BitVectorRefine(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<Value> tail(n);
+  for (auto& v : tail) v = rng.Uniform(1, 1'000'000);
+  const RangePredicate pred = RangePredicate::Closed(250'000, 750'000);
+  BitVector bv(n, true);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      if (bv.Get(i) && !pred.Matches(tail[i])) bv.Clear(i);
+    }
+    benchmark::DoNotOptimize(bv.Count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitVectorRefine)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace crackdb
+
+BENCHMARK_MAIN();

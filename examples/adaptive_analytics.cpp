@@ -1,0 +1,91 @@
+// Adaptive analytics: an exploratory session over a TPC-H-like sales
+// history whose focus drifts (this quarter -> that quarter -> a specific
+// discount band). Demonstrates the paper's Section 5 scenario: sideways
+// cracking approaches presorted performance on the workload's hot set
+// without ever paying a presort, and keeps adapting when the focus moves.
+//
+//   ./examples/adaptive_analytics
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "engine/operators.h"
+#include "engine/presorted_engine.h"
+#include "engine/sideways_engine.h"
+#include "tpch/queries.h"
+
+using namespace crackdb;
+using namespace crackdb::tpch;
+
+namespace {
+
+double RunRevenueQuery(Engine* engine, Value date_lo, Value date_hi,
+                       Value disc_lo, Value disc_hi, Value* revenue_out) {
+  QuerySpec query;
+  query.selections = {
+      {"l_shipdate", RangePredicate::HalfOpen(date_lo, date_hi)},
+      {"l_discount", RangePredicate::Closed(disc_lo, disc_hi)},
+  };
+  query.projections = {"l_extendedprice", "l_discount"};
+  Timer timer;
+  const QueryResult r = engine->Run(query);
+  Value revenue = 0;
+  for (size_t i = 0; i < r.num_rows; ++i) {
+    revenue += r.columns[0][i] * r.columns[1][i] / 100;
+  }
+  *revenue_out = revenue;
+  return timer.ElapsedMicros();
+}
+
+}  // namespace
+
+int main() {
+  TpchDatabase db(0.05);
+  const Relation& lineitem = db.relation("lineitem");
+  std::printf("lineitem: %zu rows (SF 0.05)\n", lineitem.num_rows());
+
+  SidewaysEngine sideways(lineitem);
+  PresortedEngine presorted(lineitem);
+
+  // The analyst sweeps quarters of 1994, then drills into discounts of Q2.
+  struct Step {
+    const char* label;
+    int month;
+    Value disc_lo, disc_hi;
+  };
+  const Step session[] = {
+      {"Q1'94 revenue, any discount", 1, 0, 10},
+      {"Q2'94 revenue, any discount", 4, 0, 10},
+      {"Q3'94 revenue, any discount", 7, 0, 10},
+      {"Q4'94 revenue, any discount", 10, 0, 10},
+      {"Q2'94 again, discounts 5-7%", 4, 5, 7},
+      {"Q2'94 again, discounts 2-4%", 4, 2, 4},
+      {"Q2'94 once more (hot set)", 4, 5, 7},
+  };
+
+  std::printf("%-34s %14s %16s\n", "analyst step", "sideways (us)",
+              "presorted (us)");
+  for (const Step& step : session) {
+    const Value lo = DateToDays(1994, step.month, 1);
+    const Value hi = DateToDays(1994, step.month + 2, 28);
+    Value rev_side = 0;
+    Value rev_pre = 0;
+    const double us_side = RunRevenueQuery(&sideways, lo, hi, step.disc_lo,
+                                           step.disc_hi, &rev_side);
+    const double us_pre = RunRevenueQuery(&presorted, lo, hi, step.disc_lo,
+                                          step.disc_hi, &rev_pre);
+    if (rev_side != rev_pre) {
+      std::printf("MISMATCH: %lld vs %lld\n",
+                  static_cast<long long>(rev_side),
+                  static_cast<long long>(rev_pre));
+      return 1;
+    }
+    std::printf("%-34s %14.0f %16.0f   revenue=%.2f\n", step.label, us_side,
+                us_pre, static_cast<double>(rev_side) / 100.0);
+  }
+  std::printf("\npresorted paid %.1f ms of preparation up front; sideways\n"
+              "cracking paid nothing and converged on the session's hot "
+              "set.\n",
+              presorted.cost().prepare_micros / 1000.0);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: load a relation, run multi-attribute range queries through
+// partial sideways cracking, and watch the system get faster on its own —
+// no index creation, no presorting, no workload knowledge.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "bench_util/workload.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "engine/partial_engine.h"
+#include "engine/plain_engine.h"
+#include "storage/catalog.h"
+
+using namespace crackdb;
+
+int main() {
+  // 1. A catalog owns relations; load one with three integer attributes.
+  Catalog catalog;
+  Rng rng(7);
+  Relation& sensors = catalog.CreateRelation("sensors");
+  sensors.AddColumn("temperature");  // millidegrees
+  sensors.AddColumn("pressure");
+  sensors.AddColumn("device_id");
+  for (int i = 0; i < 500'000; ++i) {
+    const Value row[] = {rng.Uniform(-20'000, 120'000),
+                         rng.Uniform(90'000, 110'000),
+                         rng.Uniform(1, 5'000)};
+    sensors.BulkLoadRow(row);
+  }
+  std::printf("loaded %zu rows\n", sensors.num_rows());
+
+  // 2. Two engines over the same data: a plain scanning column-store and
+  //    partial sideways cracking (the paper's contribution).
+  PlainEngine plain(sensors);
+  PartialSidewaysEngine cracking(sensors);
+
+  // 3. The same query template, repeatedly, with shifting ranges — the
+  //    kind of exploratory session the paper targets.
+  std::printf("%5s %14s %14s\n", "query", "plain (us)", "cracking (us)");
+  for (int q = 0; q < 15; ++q) {
+    QuerySpec query;
+    const Value lo = rng.Uniform(-20'000, 100'000);
+    query.selections = {
+        {"temperature", RangePredicate::Closed(lo, lo + 10'000)},
+        {"pressure", RangePredicate::Closed(95'000, 105'000)},
+    };
+    query.projections = {"device_id"};
+
+    Timer t_plain;
+    const QueryResult r_plain = plain.Run(query);
+    const double plain_us = t_plain.ElapsedMicros();
+
+    Timer t_crack;
+    const QueryResult r_crack = cracking.Run(query);
+    const double crack_us = t_crack.ElapsedMicros();
+
+    if (r_plain.num_rows != r_crack.num_rows) {
+      std::printf("MISMATCH at query %d\n", q);
+      return 1;
+    }
+    std::printf("%5d %14.0f %14.0f   (%zu rows)\n", q + 1, plain_us, crack_us,
+                r_crack.num_rows);
+  }
+  std::printf("\ncracking reorganizes data as a side effect of the queries\n"
+              "themselves; later queries touch only relevant pieces.\n");
+  return 0;
+}

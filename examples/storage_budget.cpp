@@ -1,0 +1,64 @@
+// Storage budget: partial sideways cracking under a hard auxiliary-storage
+// threshold (paper Section 4). The workload alternates between query
+// families; the engine materializes only the chunks each family needs,
+// evicts the least-used ones when the budget binds, and recreates them on
+// demand — no query ever fails, results stay exact.
+//
+//   ./examples/storage_budget
+
+#include <cstdio>
+
+#include "bench_util/workload.h"
+#include "common/rng.h"
+#include "engine/partial_engine.h"
+#include "engine/plain_engine.h"
+#include "storage/catalog.h"
+
+using namespace crackdb;
+
+int main() {
+  Catalog catalog;
+  Rng rng(11);
+  const size_t rows = 300'000;
+  Relation& rel = bench::CreateUniformRelation(&catalog, "events", 8, rows,
+                                               1'000'000, &rng);
+
+  // Budget: a quarter of one full map — partial maps must stay frugal.
+  PartialConfig config;
+  config.storage_budget_tuples = rows / 4;
+  config.enable_head_drop = true;
+  PartialSidewaysEngine cracking(rel, config);
+  PlainEngine reference(rel);
+
+  std::printf("rows=%zu budget=%zu tuples (a full map would need %zu)\n\n",
+              rows, config.storage_budget_tuples, rows);
+  std::printf("%5s %-10s %16s %12s %10s\n", "query", "family",
+              "chunk storage", "evictions", "rows");
+
+  for (int q = 0; q < 40; ++q) {
+    // Two interleaved families with different hot ranges and attributes.
+    const bool family_a = (q / 5) % 2 == 0;
+    QuerySpec query;
+    const Value lo = family_a ? rng.Uniform(1, 200'000)
+                              : rng.Uniform(600'000, 800'000);
+    query.selections = {
+        {bench::AttrName(1), RangePredicate::Closed(lo, lo + 50'000)},
+        {bench::AttrName(family_a ? 2 : 3),
+         RangePredicate::Closed(1, 500'000)},
+    };
+    query.projections = {bench::AttrName(family_a ? 4 : 5)};
+
+    const QueryResult got = cracking.Run(query);
+    const QueryResult expected = reference.Run(query);
+    if (got.num_rows != expected.num_rows) {
+      std::printf("MISMATCH at query %d\n", q);
+      return 1;
+    }
+    std::printf("%5d %-10s %10zu tuples %12zu %10zu\n", q + 1,
+                family_a ? "A" : "B", cracking.ChunkStorageTuples(),
+                cracking.storage().eviction_count(), got.num_rows);
+  }
+  std::printf("\nthe budget held throughout; chunks of the idle family were\n"
+              "evicted and transparently recreated when it returned.\n");
+  return 0;
+}

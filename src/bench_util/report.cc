@@ -1,0 +1,55 @@
+#include "bench_util/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crackdb::bench {
+
+void FigureHeader(const std::string& id, const std::string& title,
+                  const std::string& x_label, const std::string& y_label) {
+  std::printf("\n# figure %s: %s\n# x=%s y=%s\n", id.c_str(), title.c_str(),
+              x_label.c_str(), y_label.c_str());
+}
+
+void SeriesHeader(const std::string& name) {
+  std::printf("# series %s\n", name.c_str());
+}
+
+void Point(double x, double y) { std::printf("%.6g %.6g\n", x, y); }
+
+void Point(double x, double y, double y2) {
+  std::printf("%.6g %.6g %.6g\n", x, y, y2);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace crackdb::bench

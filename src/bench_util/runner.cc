@@ -1,0 +1,59 @@
+#include "bench_util/runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
+#include "engine/operators.h"
+
+namespace crackdb::bench {
+
+RunOutcome RunTimed(Engine* engine, const QuerySpec& spec, bool keep_result) {
+  RunOutcome outcome;
+  const CostBreakdown before = engine->cost();
+  Timer timer;
+  QueryResult result = engine->Run(spec);
+  // One-off physical-design preparation (presorting) is reported separately
+  // from query response time, as throughout the paper's figures.
+  const double prepare_delta =
+      engine->cost().prepare_micros - before.prepare_micros;
+  outcome.timing.total_micros = timer.ElapsedMicros() - prepare_delta;
+  outcome.timing.select_micros = engine->cost().select_micros -
+                                 before.select_micros - prepare_delta;
+  outcome.timing.reconstruct_micros =
+      engine->cost().reconstruct_micros - before.reconstruct_micros;
+  outcome.column_max.reserve(result.columns.size());
+  for (const std::vector<Value>& col : result.columns) {
+    outcome.column_max.push_back(MaxOf(col));
+  }
+  if (keep_result) outcome.result = std::move(result);
+  return outcome;
+}
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--rows=", 7) == 0) {
+      args.rows = static_cast<size_t>(std::atoll(a + 7));
+    } else if (std::strncmp(a, "--queries=", 10) == 0) {
+      args.queries = static_cast<size_t>(std::atoll(a + 10));
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      args.seed = static_cast<uint64_t>(std::atoll(a + 7));
+    } else if (std::strcmp(a, "--paper-scale") == 0) {
+      args.paper_scale = true;
+    } else if (std::strncmp(a, "--sf=", 5) == 0) {
+      args.scale_factor = std::atof(a + 5);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rows=N] [--queries=N] [--seed=N] "
+                   "[--paper-scale] [--sf=F]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace crackdb::bench

@@ -1,0 +1,44 @@
+#ifndef CRACKDB_BENCH_UTIL_RUNNER_H_
+#define CRACKDB_BENCH_UTIL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace crackdb::bench {
+
+/// Wall-clock and cost-breakdown timing of one query on one engine.
+struct QueryTiming {
+  double total_micros = 0;
+  double select_micros = 0;
+  double reconstruct_micros = 0;
+};
+
+/// Runs `spec` on `engine`, returning timing plus the result (for
+/// cross-engine verification). Aggregate results are summed per column to
+/// avoid holding large materializations when `aggregate_only` is set.
+struct RunOutcome {
+  QueryTiming timing;
+  QueryResult result;
+  /// Per-projection max aggregate (the experiments' q1/q3 shape).
+  std::vector<Value> column_max;
+};
+RunOutcome RunTimed(Engine* engine, const QuerySpec& spec,
+                    bool keep_result = false);
+
+/// Command-line parsing for the bench binaries: --rows=N --queries=N
+/// --paper-scale --seed=N etc. Unknown flags abort with a usage message.
+struct BenchArgs {
+  size_t rows = 0;        // 0 = binary default
+  size_t queries = 0;     // 0 = binary default
+  uint64_t seed = 42;
+  bool paper_scale = false;
+  double scale_factor = 0;  // TPC-H benches
+
+  static BenchArgs Parse(int argc, char** argv);
+};
+
+}  // namespace crackdb::bench
+
+#endif  // CRACKDB_BENCH_UTIL_RUNNER_H_

@@ -1,0 +1,75 @@
+#include "bench_util/workload.h"
+
+#include <algorithm>
+
+namespace crackdb::bench {
+
+std::string AttrName(size_t i) { return "A" + std::to_string(i); }
+
+Relation& CreateUniformRelation(Catalog* catalog, const std::string& name,
+                                size_t num_attrs, size_t num_rows,
+                                Value domain, Rng* rng) {
+  Relation& rel = catalog->CreateRelation(name);
+  for (size_t a = 1; a <= num_attrs; ++a) rel.AddColumn(AttrName(a));
+  std::vector<Value> row(num_attrs);
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t a = 0; a < num_attrs; ++a) row[a] = rng->Uniform(1, domain);
+    rel.BulkLoadRow(row);
+  }
+  return rel;
+}
+
+RangePredicate RandomRange(Rng* rng, Value lo, Value hi, double selectivity) {
+  const Value span = hi - lo + 1;
+  const Value width =
+      std::max<Value>(0, static_cast<Value>(selectivity *
+                                            static_cast<double>(span)) - 1);
+  const Value start = rng->Uniform(lo, std::max(lo, hi - width));
+  if (width == 0) return RangePredicate::Point(start);
+  return RangePredicate::Closed(start, start + width);
+}
+
+RangePredicate SkewedRangeGen::Next(Rng* rng) const {
+  const Value span = domain_hi - domain_lo + 1;
+  const Value hot_end =
+      domain_lo + static_cast<Value>(hot_fraction *
+                                     static_cast<double>(span)) - 1;
+  const Value width =
+      std::max<Value>(0, static_cast<Value>(selectivity *
+                                            static_cast<double>(span)) - 1);
+  if (rng->Bernoulli(hot_probability)) {
+    const Value hi = std::max(domain_lo, hot_end - width);
+    const Value start = rng->Uniform(domain_lo, hi);
+    return RangePredicate::Closed(start, start + width);
+  }
+  const Value lo = std::min(hot_end + 1, domain_hi);
+  const Value start = rng->Uniform(lo, std::max(lo, domain_hi - width));
+  return RangePredicate::Closed(start, start + width);
+}
+
+size_t ApplyRandomUpdates(Relation* relation, Value domain, size_t count,
+                          Rng* rng) {
+  std::vector<Value> row(relation->num_columns());
+  size_t applied = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 2 == 0) {
+      for (auto& v : row) v = rng->Uniform(1, domain);
+      relation->AppendRow(row);
+      ++applied;
+    } else {
+      // Delete a random live row (bounded retry against tombstones).
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const Key k = static_cast<Key>(
+            rng->Uniform(0, static_cast<Value>(relation->num_rows()) - 1));
+        if (!relation->IsDeleted(k)) {
+          relation->DeleteRow(k);
+          ++applied;
+          break;
+        }
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace crackdb::bench

@@ -1,0 +1,55 @@
+#ifndef CRACKDB_BENCH_UTIL_WORKLOAD_H_
+#define CRACKDB_BENCH_UTIL_WORKLOAD_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+
+namespace crackdb::bench {
+
+/// Builders and generators for the paper's synthetic workloads
+/// (Sections 3.6 and 4.2): relations of k integer attributes with values
+/// uniform in [1, domain], random range queries of fixed selectivity,
+/// skewed hot-set variants, and random update streams.
+
+/// Creates relation `name` with attributes A1..A`num_attrs`, `num_rows`
+/// rows, values uniform in [1, domain].
+Relation& CreateUniformRelation(Catalog* catalog, const std::string& name,
+                                size_t num_attrs, size_t num_rows,
+                                Value domain, Rng* rng);
+
+/// Attribute name "A<i>" (1-based), as produced by CreateUniformRelation.
+std::string AttrName(size_t i);
+
+/// A random range within [lo, hi] selecting ~`selectivity` of a uniform
+/// domain; `selectivity` 0 yields a point query.
+RangePredicate RandomRange(Rng* rng, Value lo, Value hi, double selectivity);
+
+/// The paper's skewed generator (Exp5 / Figure 10(b)): with probability
+/// `hot_probability` the range falls inside the hot fraction of the
+/// domain, otherwise in the rest. Selectivity is relative to the full
+/// domain size.
+struct SkewedRangeGen {
+  Value domain_lo = 1;
+  Value domain_hi = 10'000'000;
+  double hot_fraction = 0.5;
+  double hot_probability = 0.9;
+  double selectivity = 0.2;
+
+  RangePredicate Next(Rng* rng) const;
+};
+
+/// Applies `count` random updates: alternating inserts of fresh uniform
+/// rows and deletes of random live rows (an update = delete + insert per
+/// the paper's model). Returns the number of events logged.
+size_t ApplyRandomUpdates(Relation* relation, Value domain, size_t count,
+                          Rng* rng);
+
+}  // namespace crackdb::bench
+
+#endif  // CRACKDB_BENCH_UTIL_WORKLOAD_H_

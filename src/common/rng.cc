@@ -1,0 +1,40 @@
+#include "common/rng.h"
+
+namespace crackdb {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  s0_ = SplitMix64(&sm);
+  s1_ = SplitMix64(&sm);
+  if (s0_ == 0 && s1_ == 0) s0_ = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+Value Rng::Uniform(Value lo, Value hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<Value>(Next());  // full 64-bit range
+  return lo + static_cast<Value>(Next() % span);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace crackdb

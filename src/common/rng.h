@@ -1,0 +1,37 @@
+#ifndef CRACKDB_COMMON_RNG_H_
+#define CRACKDB_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace crackdb {
+
+/// Deterministic xorshift128+ generator. All workload generators in the
+/// repository draw from this so experiments are reproducible across runs
+/// and platforms (std::mt19937 distributions are not portable across
+/// standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  Value Uniform(Value lo, Value hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_COMMON_RNG_H_

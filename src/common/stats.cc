@@ -1,0 +1,28 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crackdb {
+
+SeriesSummary Summarize(std::vector<double> values) {
+  SeriesSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  for (double v : values) s.total += v;
+  s.mean = s.total / static_cast<double>(s.count);
+  s.min = values.front();
+  s.max = values.back();
+  s.median = values[s.count / 2];
+  s.p95 = values[static_cast<size_t>(static_cast<double>(s.count - 1) * 0.95)];
+  return s;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace crackdb

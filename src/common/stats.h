@@ -1,0 +1,31 @@
+#ifndef CRACKDB_COMMON_STATS_H_
+#define CRACKDB_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace crackdb {
+
+/// Summary statistics over a series of measurements (per-query response
+/// times in the experiments).
+struct SeriesSummary {
+  size_t count = 0;
+  double total = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double median = 0;
+  double p95 = 0;
+};
+
+/// Computes summary statistics; `values` is copied because percentile
+/// computation sorts.
+SeriesSummary Summarize(std::vector<double> values);
+
+/// Formats a double with fixed precision; helper for the report tables.
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_COMMON_STATS_H_

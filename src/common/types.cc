@@ -1,0 +1,15 @@
+#include "common/types.h"
+
+namespace crackdb {
+
+std::string RangePredicate::ToString() const {
+  std::string s;
+  s += low_inclusive ? "[" : "(";
+  s += (low == kMinValue) ? "-inf" : std::to_string(low);
+  s += ", ";
+  s += (high == kMaxValue) ? "+inf" : std::to_string(high);
+  s += high_inclusive ? "]" : ")";
+  return s;
+}
+
+}  // namespace crackdb

@@ -1,0 +1,85 @@
+#ifndef CRACKDB_COMMON_TYPES_H_
+#define CRACKDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace crackdb {
+
+/// Attribute value type. The paper's experiments use integer attributes in
+/// [1, 10^7]; TPC-H dates and decimals are encoded into int64 as well
+/// (days-since-epoch and fixed-point cents respectively), and strings are
+/// dictionary codes.
+using Value = int64_t;
+
+/// Tuple identity: the position of a tuple in the insertion order of its
+/// relation. MonetDB calls this the (virtual) "key" column of a BAT.
+using Key = uint32_t;
+
+inline constexpr Value kMinValue = std::numeric_limits<Value>::min();
+inline constexpr Value kMaxValue = std::numeric_limits<Value>::max();
+inline constexpr Key kInvalidKey = std::numeric_limits<Key>::max();
+
+/// A one-sided bound on an attribute: `value` together with whether the
+/// bound itself is included. Used both in predicates and in cracker-index
+/// nodes.
+struct Bound {
+  Value value = 0;
+  bool inclusive = false;
+
+  friend bool operator==(const Bound&, const Bound&) = default;
+};
+
+/// A range predicate `low OP_l A OP_h high` on a single attribute.
+/// The default-constructed predicate matches everything.
+struct RangePredicate {
+  Value low = kMinValue;
+  Value high = kMaxValue;
+  bool low_inclusive = true;
+  bool high_inclusive = true;
+
+  /// Returns true iff `v` satisfies the predicate.
+  bool Matches(Value v) const {
+    if (v < low || (v == low && !low_inclusive)) return false;
+    if (v > high || (v == high && !high_inclusive)) return false;
+    return true;
+  }
+
+  /// A predicate selecting exactly one value.
+  static RangePredicate Point(Value v) { return {v, v, true, true}; }
+
+  /// Open interval (low, high), the paper's `v1 < A < v2` form.
+  static RangePredicate Open(Value low, Value high) {
+    return {low, high, false, false};
+  }
+
+  /// Half-open interval [low, high).
+  static RangePredicate HalfOpen(Value low, Value high) {
+    return {low, high, true, false};
+  }
+
+  /// Closed interval [low, high].
+  static RangePredicate Closed(Value low, Value high) {
+    return {low, high, true, true};
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const RangePredicate&, const RangePredicate&) = default;
+};
+
+/// A contiguous index range [begin, end) into a column or map.
+struct PositionRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+
+  friend bool operator==(const PositionRange&, const PositionRange&) = default;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_COMMON_TYPES_H_

@@ -1,0 +1,98 @@
+#ifndef CRACKDB_CORE_PARTIAL_SIDEWAYS_H_
+#define CRACKDB_CORE_PARTIAL_SIDEWAYS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/chunk_map.h"
+#include "core/partial_map.h"
+#include "core/storage_manager.h"
+#include "storage/relation.h"
+
+namespace crackdb {
+
+/// Tuning knobs of partial sideways cracking (paper Section 4.1).
+struct PartialConfig {
+  /// Storage threshold T in tuples over all chunks of all partial maps
+  /// sharing the StorageManager; 0 = unlimited.
+  size_t storage_budget_tuples = 0;
+  /// Pieces at or below this entry count are treated as "fits in the CPU
+  /// cache": they are sorted (tape-logged) before cracking, and a chunk
+  /// whose pieces are all this small is a head-drop candidate (policy 1).
+  size_t sort_piece_threshold = 2048;
+  /// Enables head-column dropping.
+  bool enable_head_drop = false;
+  /// Policy 2: drop the head once a chunk has been accessed this many
+  /// times without being cracked.
+  size_t head_drop_idle_accesses = 16;
+};
+
+/// One conjunctive multi-selection / multi-projection query against a
+/// partial map set.
+struct PartialQueryRequest {
+  RangePredicate head_pred;
+  /// Additional selections on tail attributes (bit-vector refinement).
+  std::vector<std::pair<std::string, RangePredicate>> tail_selections;
+  /// Attributes to return for qualifying tuples; the head attribute itself
+  /// is allowed.
+  std::vector<std::string> projections;
+};
+
+struct PartialQueryResult {
+  /// columns[i] holds the values of projections[i], row-aligned.
+  std::vector<std::vector<Value>> columns;
+  size_t num_rows = 0;
+};
+
+/// The partial map set S_A (paper Section 4): a chunk map H_A plus one
+/// PartialMap per requested tail attribute, executing queries chunk-wise —
+/// load/create/align/crack one area's chunks, run the operators over them,
+/// emit, move to the next area.
+class PartialMapSet {
+ public:
+  /// `manager` and `config` are shared across the sets of an engine and
+  /// must outlive it.
+  PartialMapSet(const Relation& relation, const std::string& head_attr,
+                StorageManager* manager, const PartialConfig* config);
+
+  PartialMapSet(const PartialMapSet&) = delete;
+  PartialMapSet& operator=(const PartialMapSet&) = delete;
+
+  const std::string& head_attr() const { return head_attr_; }
+
+  PartialQueryResult Execute(const PartialQueryRequest& request);
+
+  /// Self-organizing histogram for map-set choice.
+  CrackerIndex::Estimate EstimateMatches(const RangePredicate& pred);
+
+  ChunkMap& chunk_map() { return chunk_map_; }
+  PartialMap& GetOrCreateMap(const std::string& tail_attr);
+  bool HasMap(const std::string& tail_attr) const;
+
+  /// Chunk storage of this set in half-tuples (chunk map excluded, as in
+  /// the paper's storage accounting).
+  size_t StorageHalfTuples() const;
+
+ private:
+  /// Materializes (or finds) the chunk of `map` for `area`, enforcing the
+  /// storage budget; pins it for the rest of the query.
+  MapChunk& ObtainChunk(PartialMap& map, ChunkMapArea& area);
+
+  void ApplyHeadDropPolicies(MapChunk& chunk);
+  void DropChunkHead(MapChunk& chunk);
+
+  const Relation* relation_;
+  std::string head_attr_;
+  StorageManager* manager_;
+  const PartialConfig* config_;
+  ChunkMap chunk_map_;
+  std::map<std::string, std::unique_ptr<PartialMap>> maps_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_CORE_PARTIAL_SIDEWAYS_H_

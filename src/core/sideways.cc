@@ -1,0 +1,177 @@
+#include "core/sideways.h"
+
+#include <cassert>
+
+namespace crackdb {
+
+SidewaysQuery::SidewaysQuery(MapSet& set, const RangePredicate& head_pred,
+                             bool disjunctive)
+    : set_(&set), head_pred_(head_pred), disjunctive_(disjunctive) {}
+
+CrackerMap& SidewaysQuery::PrepareMap(const std::string& attr) {
+  CrackerMap& map = set_->GetOrCreateMap(attr);
+  const PositionRange area = set_->SidewaysSelect(map, head_pred_);
+  if (!area_valid_) {
+    area_ = area;
+    area_valid_ = true;
+  } else {
+    // No updates run mid-query, so every map of the aligned set reports
+    // the same qualifying area for the same head predicate.
+    assert(area.begin == area_.begin && area.end == area_.end);
+  }
+  return map;
+}
+
+void SidewaysQuery::AddTailSelection(const std::string& attr,
+                                     const RangePredicate& pred) {
+  CrackerMap& map = PrepareMap(attr);
+  positions_valid_ = false;
+  if (disjunctive_) {
+    // Bit vector spans the whole map; the cracked area qualifies wholesale
+    // on the first (least selective) predicate, later predicates only need
+    // to inspect still-unmarked tuples outside it.
+    if (!bv_valid_) {
+      bv_ = BitVector(map.size(), false);
+      bv_valid_ = true;
+      for (size_t i = area_.begin; i < area_.end; ++i) bv_.Set(i);
+      // fall through: this call's tail predicate still applies outside.
+    }
+    const std::vector<Value>& tail = map.store().tail;
+    for (size_t i = 0; i < area_.begin; ++i) {
+      if (!bv_.Get(i) && pred.Matches(tail[i])) bv_.Set(i);
+    }
+    for (size_t i = area_.end; i < map.size(); ++i) {
+      if (!bv_.Get(i) && pred.Matches(tail[i])) bv_.Set(i);
+    }
+    return;
+  }
+  // Conjunctive: bit vector spans only the head-predicate area.
+  const std::vector<Value>& tail = map.store().tail;
+  if (!bv_valid_) {
+    // select_create_bv
+    bv_ = BitVector(area_.size(), false);
+    bv_valid_ = true;
+    for (size_t i = 0; i < area_.size(); ++i) {
+      if (pred.Matches(tail[area_.begin + i])) bv_.Set(i);
+    }
+  } else {
+    // select_refine_bv
+    for (size_t i = 0; i < area_.size(); ++i) {
+      if (bv_.Get(i) && !pred.Matches(tail[area_.begin + i])) bv_.Clear(i);
+    }
+  }
+}
+
+size_t SidewaysQuery::NumQualifying() {
+  if (!area_valid_) {
+    // Pure head-predicate query where nothing was fetched yet: run the
+    // head crack through any map of the set (materializing M_{A,A} as a
+    // last resort) so the area exists.
+    std::vector<std::string> names = set_->MapNames();
+    PrepareMap(names.empty() ? set_->head_attr() : names.front());
+  }
+  if (!bv_valid_) return area_.size();
+  return bv_.Count();
+}
+
+void SidewaysQuery::EnsureQualifyingPositions() {
+  if (positions_valid_) return;
+  qualifying_positions_.clear();
+  if (!bv_valid_) {
+    qualifying_positions_.reserve(area_.size());
+    for (size_t i = area_.begin; i < area_.end; ++i) {
+      qualifying_positions_.push_back(static_cast<uint32_t>(i));
+    }
+  } else if (disjunctive_) {
+    bv_.AppendSetPositions(&qualifying_positions_, 0);
+  } else {
+    bv_.AppendSetPositions(&qualifying_positions_,
+                           static_cast<uint32_t>(area_.begin));
+  }
+  positions_valid_ = true;
+}
+
+std::vector<Value> SidewaysQuery::FetchTail(const std::string& attr) {
+  CrackerMap& map = PrepareMap(attr);
+  const std::vector<Value>& tail = map.store().tail;
+  std::vector<Value> out;
+  if (!bv_valid_) {
+    out.assign(tail.begin() + static_cast<ptrdiff_t>(area_.begin),
+               tail.begin() + static_cast<ptrdiff_t>(area_.end));
+    return out;
+  }
+  EnsureQualifyingPositions();
+  out.reserve(qualifying_positions_.size());
+  for (uint32_t pos : qualifying_positions_) out.push_back(tail[pos]);
+  return out;
+}
+
+std::vector<Value> SidewaysQuery::FetchHead() {
+  // Any map of the set carries the head; reuse (or create) the first one
+  // the query touched by fetching through the head attribute name itself:
+  // the set's maps are keyed by tail attribute, so use an existing map if
+  // available, else materialize M_{A,A}.
+  std::vector<std::string> names = set_->MapNames();
+  const std::string attr = names.empty() ? set_->head_attr() : names.front();
+  CrackerMap& map = PrepareMap(attr);
+  const std::vector<Value>& head = map.store().head;
+  std::vector<Value> out;
+  if (!bv_valid_) {
+    out.assign(head.begin() + static_cast<ptrdiff_t>(area_.begin),
+               head.begin() + static_cast<ptrdiff_t>(area_.end));
+    return out;
+  }
+  EnsureQualifyingPositions();
+  out.reserve(qualifying_positions_.size());
+  for (uint32_t pos : qualifying_positions_) out.push_back(head[pos]);
+  return out;
+}
+
+std::span<const Value> SidewaysQuery::TailView(const std::string& attr,
+                                               bool* ok) {
+  if (bv_valid_) {
+    *ok = false;
+    return {};
+  }
+  CrackerMap& map = PrepareMap(attr);
+  *ok = true;
+  return {map.store().tail.data() + area_.begin, area_.size()};
+}
+
+std::span<const Value> SidewaysQuery::HeadView(bool* ok) {
+  if (bv_valid_) {
+    *ok = false;
+    return {};
+  }
+  std::vector<std::string> names = set_->MapNames();
+  const std::string attr = names.empty() ? set_->head_attr() : names.front();
+  CrackerMap& map = PrepareMap(attr);
+  *ok = true;
+  return {map.store().head.data() + area_.begin, area_.size()};
+}
+
+std::vector<Value> SidewaysQuery::FetchTailAt(
+    const std::string& attr, std::span<const uint32_t> ordinals) {
+  CrackerMap& map = PrepareMap(attr);
+  EnsureQualifyingPositions();
+  const std::vector<Value>& tail = map.store().tail;
+  std::vector<Value> out;
+  out.reserve(ordinals.size());
+  for (uint32_t ord : ordinals) out.push_back(tail[qualifying_positions_[ord]]);
+  return out;
+}
+
+std::vector<Value> SidewaysQuery::FetchHeadAt(
+    std::span<const uint32_t> ordinals) {
+  std::vector<std::string> names = set_->MapNames();
+  const std::string attr = names.empty() ? set_->head_attr() : names.front();
+  CrackerMap& map = PrepareMap(attr);
+  EnsureQualifyingPositions();
+  const std::vector<Value>& head = map.store().head;
+  std::vector<Value> out;
+  out.reserve(ordinals.size());
+  for (uint32_t ord : ordinals) out.push_back(head[qualifying_positions_[ord]]);
+  return out;
+}
+
+}  // namespace crackdb

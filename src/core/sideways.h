@@ -1,0 +1,88 @@
+#ifndef CRACKDB_CORE_SIDEWAYS_H_
+#define CRACKDB_CORE_SIDEWAYS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/types.h"
+#include "core/map_set.h"
+
+namespace crackdb {
+
+/// Orchestrates one multi-selection / multi-projection query over a single
+/// map set S_A — the paper's Section 3.2/3.3 operator pipeline:
+///
+///   sideways.select_create_bv(A, v1, v2, B, v3, v4)   -> AddTailSelection
+///   sideways.select_refine_bv(A, v1, v2, C, v5, v6)   -> AddTailSelection
+///   sideways.reconstruct(A, v1, v2, D, bv)            -> FetchTail
+///
+/// All maps touched are aligned through the set's tape, so the bit vector
+/// indexes the same tuple at the same offset in every map. Conjunctive
+/// queries keep the bit vector as small as the head-predicate area;
+/// disjunctive queries size it to the whole map and scan outside the
+/// cracked area for unmarked qualifiers (Section 3.3, "Disjunctive
+/// Queries").
+class SidewaysQuery {
+ public:
+  SidewaysQuery(MapSet& set, const RangePredicate& head_pred,
+                bool disjunctive = false);
+
+  /// Applies a range predicate on tail attribute `attr`
+  /// (select_create_bv on first call, select_refine_bv afterwards).
+  void AddTailSelection(const std::string& attr, const RangePredicate& pred);
+
+  /// Number of tuples currently qualifying (bit count, or area size when
+  /// no tail selection was added).
+  size_t NumQualifying();
+
+  /// Values of tail attribute `attr` for all qualifying tuples, in aligned
+  /// map order (sideways.reconstruct).
+  std::vector<Value> FetchTail(const std::string& attr);
+
+  /// Values of the head attribute A for all qualifying tuples.
+  std::vector<Value> FetchHead();
+
+  /// Non-materialized view of the qualifying tail area (Section 3.2 step
+  /// 8). Only available when no bit vector filters the area (single
+  /// head-predicate queries); returns an empty span with `*ok == false`
+  /// otherwise. Valid until the map is next reorganized.
+  std::span<const Value> TailView(const std::string& attr, bool* ok);
+  std::span<const Value> HeadView(bool* ok);
+
+  /// Scattered access after a non-order-preserving operator (join):
+  /// `ordinals` index the qualifying-tuple sequence (0-based, as produced
+  /// by FetchTail). Access stays clustered inside the map's qualifying
+  /// area — the post-join reconstruction advantage of Figure 5(c).
+  std::vector<Value> FetchTailAt(const std::string& attr,
+                                 std::span<const uint32_t> ordinals);
+  std::vector<Value> FetchHeadAt(std::span<const uint32_t> ordinals);
+
+  /// The qualifying area of the head predicate (valid after the first
+  /// operator ran).
+  PositionRange area() const { return area_; }
+
+  const BitVector* bit_vector() const { return bv_valid_ ? &bv_ : nullptr; }
+
+ private:
+  /// Ensures `map` is aligned & cracked for the head predicate; fixes the
+  /// query's area on first use.
+  CrackerMap& PrepareMap(const std::string& attr);
+  void EnsureQualifyingPositions();
+
+  MapSet* set_;
+  RangePredicate head_pred_;
+  bool disjunctive_;
+  PositionRange area_{0, 0};
+  bool area_valid_ = false;
+  BitVector bv_;
+  bool bv_valid_ = false;
+  /// Map positions of qualifying tuples (built lazily for *_At access).
+  std::vector<uint32_t> qualifying_positions_;
+  bool positions_valid_ = false;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_CORE_SIDEWAYS_H_

@@ -1,0 +1,65 @@
+#include "core/storage_manager.h"
+
+namespace crackdb {
+
+uint64_t StorageManager::Register(size_t cost_half_tuples,
+                                  std::function<void()> dropper) {
+  const uint64_t id = next_id_++;
+  entries_[id] = Entry{cost_half_tuples, 0, std::move(dropper)};
+  used_ += cost_half_tuples;
+  return id;
+}
+
+void StorageManager::UpdateCost(uint64_t id, size_t cost_half_tuples) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  used_ -= it->second.cost;
+  it->second.cost = cost_half_tuples;
+  used_ += cost_half_tuples;
+}
+
+void StorageManager::Unregister(uint64_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  used_ -= it->second.cost;
+  entries_.erase(it);
+  pinned_.erase(id);
+}
+
+void StorageManager::RecordAccess(uint64_t id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) ++it->second.accesses;
+}
+
+std::optional<uint64_t> StorageManager::PickVictim() const {
+  std::optional<uint64_t> victim;
+  size_t victim_accesses = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (pinned_.count(id) != 0) continue;
+    if (!victim.has_value() || entry.accesses < victim_accesses ||
+        (entry.accesses == victim_accesses && id < *victim)) {
+      victim = id;
+      victim_accesses = entry.accesses;
+    }
+  }
+  return victim;
+}
+
+bool StorageManager::EnsureRoom(size_t extra_half_tuples) {
+  if (unlimited()) return true;
+  while (used_ + extra_half_tuples > budget_) {
+    const std::optional<uint64_t> victim = PickVictim();
+    if (!victim.has_value()) return false;
+    // Detach the entry first: the dropper may mutate owner containers but
+    // must not observe a half-removed registry entry.
+    auto it = entries_.find(*victim);
+    Entry entry = std::move(it->second);
+    used_ -= entry.cost;
+    entries_.erase(it);
+    ++evictions_;
+    if (entry.dropper) entry.dropper();
+  }
+  return true;
+}
+
+}  // namespace crackdb

@@ -1,0 +1,80 @@
+#ifndef CRACKDB_CORE_STORAGE_MANAGER_H_
+#define CRACKDB_CORE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace crackdb {
+
+/// Storage accounting and eviction for auxiliary cracking structures
+/// (paper Section 4.1 "Storage Management"): enforces a tuple budget over
+/// all registered chunks/maps, evicting the least frequently accessed
+/// unpinned entry when room is needed. Chunks currently used by the
+/// running query are pinned and never evicted mid-query.
+///
+/// Costs are counted in *half-tuples* (head and tail columns separately)
+/// so that dropping a chunk's head column halves its cost; the paper's
+/// tuple counts are half-tuples / 2.
+class StorageManager {
+ public:
+  /// `budget_half_tuples` of 0 means unlimited.
+  explicit StorageManager(size_t budget_half_tuples)
+      : budget_(budget_half_tuples) {}
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  bool unlimited() const { return budget_ == 0; }
+  size_t budget_half_tuples() const { return budget_; }
+  size_t used_half_tuples() const { return used_; }
+  size_t num_entries() const { return entries_.size(); }
+
+  /// Registers a new entry; `dropper` is invoked (exactly once) if the
+  /// entry is evicted. Returns the entry's id.
+  uint64_t Register(size_t cost_half_tuples, std::function<void()> dropper);
+
+  /// Adjusts an entry's cost (chunk grew through inserts, or halved
+  /// through a head drop).
+  void UpdateCost(uint64_t id, size_t cost_half_tuples);
+
+  /// Removes an entry without invoking its dropper (the owner already
+  /// dropped the structure itself).
+  void Unregister(uint64_t id);
+
+  void RecordAccess(uint64_t id);
+
+  void Pin(uint64_t id) { pinned_.insert(id); }
+  void UnpinAll() { pinned_.clear(); }
+
+  /// Evicts least-frequently-accessed unpinned entries until `extra`
+  /// half-tuples fit in the budget. Returns false if pinned entries made
+  /// full reclamation impossible (the caller proceeds over budget — the
+  /// running query's working set takes precedence).
+  bool EnsureRoom(size_t extra_half_tuples);
+
+  /// Evictions performed so far (experiment metric).
+  size_t eviction_count() const { return evictions_; }
+
+ private:
+  struct Entry {
+    size_t cost = 0;
+    size_t accesses = 0;
+    std::function<void()> dropper;
+  };
+
+  std::optional<uint64_t> PickVictim() const;
+
+  size_t budget_;
+  size_t used_ = 0;
+  uint64_t next_id_ = 1;
+  size_t evictions_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::unordered_set<uint64_t> pinned_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_CORE_STORAGE_MANAGER_H_

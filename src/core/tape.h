@@ -1,0 +1,102 @@
+#ifndef CRACKDB_CORE_TAPE_H_
+#define CRACKDB_CORE_TAPE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crackdb {
+
+/// One replayable event in a cracker tape. Alignment (paper Section 3.2)
+/// works because every entry is applied through deterministic operations:
+/// two structures that replay the same entry prefix from the same initial
+/// state are byte-identical.
+struct TapeEntry {
+  enum class Kind {
+    /// Physical reorganization on a selection predicate
+    /// (full-map tapes log whole predicates).
+    kCrack,
+    /// Physical reorganization at a single bound (area-local tapes of
+    /// partial maps log one bound per boundary crack).
+    kCrackBound,
+    /// Ripple-insert of the row `key` with organizing value `head_value`;
+    /// each map resolves its own tail value through the base columns.
+    kInsert,
+    /// Ripple-delete at position `pos` (a position in the aligned layout at
+    /// this tape point); `key` is kept so a chunk map can drain the entry
+    /// physically by key when a tape is removed.
+    kDelete,
+    /// Stable sort of the piece whose lower split is `piece_lower`
+    /// (absent = first piece); logged when a head column is dropped after
+    /// full cracking (paper Section 4.1).
+    kSort,
+  };
+
+  Kind kind = Kind::kCrack;
+  RangePredicate pred;                 // kCrack
+  Bound bound;                         // kCrackBound
+  Key key = kInvalidKey;               // kInsert, kDelete
+  Value head_value = 0;                // kInsert, kDelete
+  size_t pos = 0;                      // kDelete
+  std::optional<Bound> piece_lower;    // kSort
+};
+
+/// The cracker tape T_A of a map set S_A (or of one chunk-map area): an
+/// append-only log of every crack/update/sort applied to any structure of
+/// the set, in occurrence order. Every structure keeps a cursor into the
+/// tape; aligning a structure means replaying entries from its cursor to
+/// the end (paper Section 3.2).
+class CrackerTape {
+ public:
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const TapeEntry& at(size_t i) const { return entries_[i]; }
+
+  void AppendCrack(const RangePredicate& pred) {
+    TapeEntry e;
+    e.kind = TapeEntry::Kind::kCrack;
+    e.pred = pred;
+    entries_.push_back(e);
+  }
+
+  void AppendCrackBound(const Bound& bound) {
+    TapeEntry e;
+    e.kind = TapeEntry::Kind::kCrackBound;
+    e.bound = bound;
+    entries_.push_back(e);
+  }
+
+  void AppendInsert(Key key, Value head_value) {
+    TapeEntry e;
+    e.kind = TapeEntry::Kind::kInsert;
+    e.key = key;
+    e.head_value = head_value;
+    entries_.push_back(e);
+  }
+
+  void AppendDelete(size_t pos, Key key, Value head_value) {
+    TapeEntry e;
+    e.kind = TapeEntry::Kind::kDelete;
+    e.pos = pos;
+    e.key = key;
+    e.head_value = head_value;
+    entries_.push_back(e);
+  }
+
+  void AppendSort(const std::optional<Bound>& piece_lower) {
+    TapeEntry e;
+    e.kind = TapeEntry::Kind::kSort;
+    e.piece_lower = piece_lower;
+    entries_.push_back(e);
+  }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<TapeEntry> entries_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_CORE_TAPE_H_

@@ -1,0 +1,49 @@
+#include "cracking/cracker_column.h"
+
+#include "updates/ripple.h"
+
+namespace crackdb {
+
+CrackerColumn::CrackerColumn(const Relation& relation, const std::string& attr)
+    : relation_(&relation),
+      attr_(attr),
+      pending_(relation, relation.ColumnOrdinal(attr)) {
+  const Column& base = relation.column(attr);
+  const size_t n = base.size();
+  store_.Reserve(relation.num_live_rows());
+  for (size_t i = 0; i < n; ++i) {
+    if (relation.IsDeleted(static_cast<Key>(i))) continue;
+    store_.PushBack(base[i], static_cast<Value>(i));
+  }
+}
+
+void CrackerColumn::MergePending(const RangePredicate& pred) {
+  pending_.Pull();
+  if (pending_.pending_count() == 0) return;
+  for (const PendingUpdate& u : pending_.ExtractMatching(pred)) {
+    if (u.kind == UpdateEvent::Kind::kInsert) {
+      RippleInsert(store_, index_, u.head_value, static_cast<Value>(u.key));
+    } else {
+      // The matching insert either was merged earlier or directly precedes
+      // this delete in the extracted batch; absence means the row never
+      // reached the cracker column (insert+delete both pending, already
+      // applied in order), so a miss is impossible here.
+      if (auto pos = FindEntry(store_, index_, u.head_value,
+                               static_cast<Value>(u.key))) {
+        RippleDeleteAt(store_, index_, *pos);
+      }
+    }
+  }
+}
+
+PositionRange CrackerColumn::Select(const RangePredicate& pred) {
+  MergePending(pred);
+  return CrackOnPredicate(store_, index_, pred).area;
+}
+
+std::span<const Value> CrackerColumn::SelectKeys(const RangePredicate& pred) {
+  const PositionRange area = Select(pred);
+  return {store_.tail.data() + area.begin, area.size()};
+}
+
+}  // namespace crackdb

@@ -1,0 +1,56 @@
+#ifndef CRACKDB_CRACKING_CRACKER_COLUMN_H_
+#define CRACKDB_CRACKING_CRACKER_COLUMN_H_
+
+#include <span>
+#include <string>
+
+#include "common/types.h"
+#include "cracking/crack.h"
+#include "cracking/cracker_index.h"
+#include "storage/relation.h"
+#include "updates/pending.h"
+
+namespace crackdb {
+
+/// The selection-cracking structure of [7] (paper Section 2.2): a copy
+/// C_A of base column A as (value, key) pairs, physically reorganized by
+/// every selection on A. The base column keeps insertion order and is used
+/// for tuple reconstruction; the cracker column's results are keys in
+/// *cracked* order, i.e., no longer aligned with insertion order — the
+/// exact weakness sideways cracking removes.
+class CrackerColumn {
+ public:
+  /// Builds C_A from the current live rows of `relation.attr`.
+  CrackerColumn(const Relation& relation, const std::string& attr);
+
+  CrackerColumn(const CrackerColumn&) = delete;
+  CrackerColumn& operator=(const CrackerColumn&) = delete;
+
+  /// crackers.select(A, v1, v2): merges relevant pending updates (Ripple),
+  /// cracks on `pred`, and returns the contiguous qualifying area.
+  PositionRange Select(const RangePredicate& pred);
+
+  /// Keys of the qualifying tuples for `pred` (tail slice of Select area).
+  /// The span is valid until the next mutating call.
+  std::span<const Value> SelectKeys(const RangePredicate& pred);
+
+  size_t size() const { return store_.size(); }
+  const CrackPairs& pairs() const { return store_; }
+  const CrackerIndex& index() const { return index_; }
+  size_t pending_count() const { return pending_.pending_count(); }
+
+  const std::string& attr() const { return attr_; }
+
+ private:
+  void MergePending(const RangePredicate& pred);
+
+  const Relation* relation_;
+  std::string attr_;
+  CrackPairs store_;
+  CrackerIndex index_;
+  PendingQueue pending_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_CRACKING_CRACKER_COLUMN_H_

@@ -1,0 +1,365 @@
+#include "cracking/cracker_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace crackdb {
+
+struct CrackerIndex::Node {
+  Bound bound;
+  size_t pos = 0;
+  bool deleted = false;
+  int height = 1;
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  Node(const Bound& b, size_t p) : bound(b), pos(p) {}
+};
+
+namespace {
+
+using Node = CrackerIndex::Node;
+
+int HeightOf(const std::unique_ptr<Node>& n) { return n ? n->height : 0; }
+
+void UpdateHeight(Node* n) {
+  n->height = 1 + std::max(HeightOf(n->left), HeightOf(n->right));
+}
+
+void RotateRight(std::unique_ptr<Node>& n) {
+  std::unique_ptr<Node> l = std::move(n->left);
+  n->left = std::move(l->right);
+  UpdateHeight(n.get());
+  l->right = std::move(n);
+  n = std::move(l);
+  UpdateHeight(n.get());
+}
+
+void RotateLeft(std::unique_ptr<Node>& n) {
+  std::unique_ptr<Node> r = std::move(n->right);
+  n->right = std::move(r->left);
+  UpdateHeight(n.get());
+  r->left = std::move(n);
+  n = std::move(r);
+  UpdateHeight(n.get());
+}
+
+void Rebalance(std::unique_ptr<Node>& n) {
+  UpdateHeight(n.get());
+  const int balance = HeightOf(n->left) - HeightOf(n->right);
+  if (balance > 1) {
+    if (HeightOf(n->left->left) < HeightOf(n->left->right)) {
+      RotateLeft(n->left);
+    }
+    RotateRight(n);
+  } else if (balance < -1) {
+    if (HeightOf(n->right->right) < HeightOf(n->right->left)) {
+      RotateRight(n->right);
+    }
+    RotateLeft(n);
+  }
+}
+
+/// Inserts (or revives/updates) `bound` -> `pos`. Returns true if a new
+/// node was allocated.
+bool Insert(std::unique_ptr<Node>& n, const Bound& bound, size_t pos,
+            bool* revived) {
+  if (!n) {
+    n = std::make_unique<Node>(bound, pos);
+    return true;
+  }
+  bool allocated = false;
+  if (BoundLess(bound, n->bound)) {
+    allocated = Insert(n->left, bound, pos, revived);
+  } else if (BoundLess(n->bound, bound)) {
+    allocated = Insert(n->right, bound, pos, revived);
+  } else {
+    *revived = n->deleted;
+    n->deleted = false;
+    n->pos = pos;
+    return false;
+  }
+  Rebalance(n);
+  return allocated;
+}
+
+const Node* Find(const Node* n, const Bound& bound) {
+  while (n != nullptr) {
+    if (BoundLess(bound, n->bound)) {
+      n = n->left.get();
+    } else if (BoundLess(n->bound, bound)) {
+      n = n->right.get();
+    } else {
+      return n;
+    }
+  }
+  return nullptr;
+}
+
+/// Greatest live node with node->bound <= bound (i.e., not greater).
+const Node* FloorNode(const Node* n, const Bound& bound) {
+  const Node* best = nullptr;
+  while (n != nullptr) {
+    if (BoundLess(bound, n->bound)) {
+      n = n->left.get();
+    } else {
+      if (!n->deleted) best = n;
+      // Even at equality, continue right only when n is deleted to look
+      // for... equality is unique, so move right strictly when bound > n.
+      if (!BoundLess(n->bound, bound) && !n->deleted) break;  // exact live hit
+      n = n->right.get();
+    }
+  }
+  return best;
+}
+
+/// Smallest live node with bound < node->bound (strictly greater).
+const Node* CeilAboveNode(const Node* n, const Bound& bound) {
+  const Node* best = nullptr;
+  while (n != nullptr) {
+    if (BoundLess(bound, n->bound)) {
+      if (!n->deleted) best = n;
+      n = n->left.get();
+    } else {
+      n = n->right.get();
+    }
+  }
+  return best;
+}
+
+/// Smallest live node with bound <= node->bound.
+const Node* CeilNode(const Node* n, const Bound& bound) {
+  const Node* best = nullptr;
+  while (n != nullptr) {
+    if (BoundLess(n->bound, bound)) {
+      n = n->right.get();
+    } else {
+      if (!n->deleted) best = n;
+      if (!BoundLess(bound, n->bound) && !n->deleted) break;  // exact live hit
+      n = n->left.get();
+    }
+  }
+  return best;
+}
+
+void InOrder(const Node* n, const std::function<void(const Node*)>& fn) {
+  if (n == nullptr) return;
+  InOrder(n->left.get(), fn);
+  fn(n);
+  InOrder(n->right.get(), fn);
+}
+
+void ShiftRec(Node* n, size_t from_pos, ptrdiff_t delta) {
+  if (n == nullptr) return;
+  ShiftRec(n->left.get(), from_pos, delta);
+  if (n->pos >= from_pos) {
+    n->pos = static_cast<size_t>(static_cast<ptrdiff_t>(n->pos) + delta);
+  }
+  ShiftRec(n->right.get(), from_pos, delta);
+}
+
+void ShiftAfterBoundRec(Node* n, const Bound& threshold, ptrdiff_t delta) {
+  if (n == nullptr) return;
+  if (BoundLess(threshold, n->bound)) {
+    // This node and its whole right subtree are above the threshold; the
+    // left subtree may straddle it.
+    n->pos = static_cast<size_t>(static_cast<ptrdiff_t>(n->pos) + delta);
+    ShiftRec(n->right.get(), 0, delta);
+    ShiftAfterBoundRec(n->left.get(), threshold, delta);
+  } else {
+    ShiftAfterBoundRec(n->right.get(), threshold, delta);
+  }
+}
+
+void MarkDeletedRec(Node* n) {
+  if (n == nullptr) return;
+  MarkDeletedRec(n->left.get());
+  n->deleted = true;
+  MarkDeletedRec(n->right.get());
+}
+
+}  // namespace
+
+CrackerIndex::CrackerIndex() = default;
+CrackerIndex::~CrackerIndex() {
+  // Iterative teardown: deep trees would overflow the stack with the
+  // default recursive unique_ptr destruction on adversarial histories.
+  std::vector<std::unique_ptr<Node>> stack;
+  if (root_) stack.push_back(std::move(root_));
+  while (!stack.empty()) {
+    std::unique_ptr<Node> n = std::move(stack.back());
+    stack.pop_back();
+    if (n->left) stack.push_back(std::move(n->left));
+    if (n->right) stack.push_back(std::move(n->right));
+  }
+}
+
+CrackerIndex::CrackerIndex(CrackerIndex&&) noexcept = default;
+CrackerIndex& CrackerIndex::operator=(CrackerIndex&&) noexcept = default;
+
+void CrackerIndex::Clear() {
+  root_.reset();
+  num_live_ = 0;
+  num_nodes_ = 0;
+}
+
+void CrackerIndex::AddSplit(const Bound& bound, size_t pos) {
+  bool revived = false;
+  const bool allocated = Insert(root_, bound, pos, &revived);
+  if (allocated) {
+    ++num_nodes_;
+    ++num_live_;
+  } else if (revived) {
+    ++num_live_;
+  }
+}
+
+std::optional<size_t> CrackerIndex::FindSplit(const Bound& bound) const {
+  const Node* n = Find(root_.get(), bound);
+  if (n == nullptr || n->deleted) return std::nullopt;
+  return n->pos;
+}
+
+CrackerIndex::Piece CrackerIndex::FindPiece(const Bound& bound,
+                                            size_t store_size) const {
+  Piece piece;
+  piece.end = store_size;
+  const Node* lo = FloorNode(root_.get(), bound);
+  if (lo != nullptr) {
+    piece.begin = lo->pos;
+    piece.lower = lo->bound;
+    piece.has_lower = true;
+  }
+  const Node* hi = CeilAboveNode(root_.get(), bound);
+  if (hi != nullptr) {
+    piece.end = hi->pos;
+    piece.upper = hi->bound;
+    piece.has_upper = true;
+  }
+  return piece;
+}
+
+PositionRange CrackerIndex::FindArea(const RangePredicate& pred,
+                                     size_t store_size) const {
+  // Lower edge: pieces entirely below the predicate start are excluded.
+  // The tightest known start is the greatest split bound that admits no
+  // value below pred's lower edge, i.e., floor of Bound{low, low_inclusive}.
+  size_t begin = 0;
+  if (pred.low != kMinValue) {
+    const Bound b{pred.low, pred.low_inclusive};
+    const Node* lo = FloorNode(root_.get(), b);
+    if (lo != nullptr) begin = lo->pos;
+  }
+  size_t end = store_size;
+  if (pred.high != kMaxValue) {
+    const Bound b{pred.high, !pred.high_inclusive};
+    const Node* hi = CeilNode(root_.get(), b);
+    if (hi != nullptr) end = hi->pos;
+  }
+  if (begin > end) begin = end;
+  return {begin, end};
+}
+
+std::vector<CrackerIndex::Piece> CrackerIndex::Pieces(
+    size_t store_size) const {
+  std::vector<Piece> pieces;
+  Piece current;
+  current.begin = 0;
+  InOrder(root_.get(), [&](const Node* n) {
+    if (n->deleted) return;
+    current.end = n->pos;
+    current.upper = n->bound;
+    current.has_upper = true;
+    pieces.push_back(current);
+    current = Piece{};
+    current.begin = n->pos;
+    current.lower = n->bound;
+    current.has_lower = true;
+  });
+  current.end = store_size;
+  current.has_upper = false;
+  pieces.push_back(current);
+  return pieces;
+}
+
+CrackerIndex::Estimate CrackerIndex::EstimateMatches(
+    const RangePredicate& pred, size_t store_size) const {
+  // Every split bound is a *cut point* in value space: Bound{v, inclusive}
+  // cuts just below v, Bound{v, exclusive} just above it (BoundLess is the
+  // cut order). A piece spans the half-open cut interval
+  // [cut(lower), cut(upper)); the predicate spans
+  // [cut{low, low_inclusive}, cut{high, !high_inclusive}).
+  Estimate est;
+  const Bound pred_lo{pred.low, pred.low_inclusive};
+  const Bound pred_hi{pred.high, !pred.high_inclusive};
+  const bool lo_unbounded = pred.low == kMinValue && pred.low_inclusive;
+  const bool hi_unbounded = pred.high == kMaxValue && pred.high_inclusive;
+  auto cut_leq = [](const Bound& a, const Bound& b) {
+    return !BoundLess(b, a);
+  };
+
+  for (const Piece& p : Pieces(store_size)) {
+    if (p.begin >= p.end) continue;
+    // Disjoint: piece entirely below pred (upper cut <= pred lower cut) or
+    // entirely above (pred upper cut <= piece lower cut).
+    if (!lo_unbounded && p.has_upper && cut_leq(p.upper, pred_lo)) continue;
+    if (!hi_unbounded && p.has_lower && cut_leq(pred_hi, p.lower)) continue;
+    const size_t sz = p.end - p.begin;
+    est.upper_bound += sz;
+
+    const bool low_inside =
+        lo_unbounded || (p.has_lower && cut_leq(pred_lo, p.lower));
+    const bool high_inside =
+        hi_unbounded || (p.has_upper && cut_leq(p.upper, pred_hi));
+    if (low_inside && high_inside) {
+      est.lower_bound += sz;
+      est.interpolated += static_cast<double>(sz);
+      continue;
+    }
+    // Boundary piece: interpolate the matching fraction assuming uniform
+    // values within the piece's known value interval (Section 3.3 suggests
+    // exactly this tightening).
+    const double piece_lo = p.has_lower ? static_cast<double>(p.lower.value)
+                                        : static_cast<double>(pred.low);
+    const double piece_hi = p.has_upper ? static_cast<double>(p.upper.value)
+                                        : static_cast<double>(pred.high);
+    const double sel_lo = std::max(piece_lo, static_cast<double>(pred.low));
+    const double sel_hi = std::min(piece_hi, static_cast<double>(pred.high));
+    const double width = piece_hi - piece_lo;
+    const double frac =
+        width > 0 ? std::clamp((sel_hi - sel_lo) / width, 0.0, 1.0) : 0.5;
+    est.interpolated += frac * static_cast<double>(sz);
+  }
+  return est;
+}
+
+void CrackerIndex::ShiftPositions(size_t from_pos, ptrdiff_t delta) {
+  ShiftRec(root_.get(), from_pos, delta);
+}
+
+void CrackerIndex::ShiftPositionsAfterBound(const Bound& threshold,
+                                            ptrdiff_t delta) {
+  ShiftAfterBoundRec(root_.get(), threshold, delta);
+}
+
+std::vector<std::pair<Bound, size_t>> CrackerIndex::LiveSplits() const {
+  std::vector<std::pair<Bound, size_t>> splits;
+  InOrder(root_.get(), [&](const Node* n) {
+    if (!n->deleted) splits.emplace_back(n->bound, n->pos);
+  });
+  return splits;
+}
+
+CrackerIndex CrackerIndex::CloneLive() const {
+  CrackerIndex clone;
+  for (const auto& [bound, pos] : LiveSplits()) clone.AddSplit(bound, pos);
+  return clone;
+}
+
+void CrackerIndex::MarkAllDeleted() {
+  MarkDeletedRec(root_.get());
+  num_live_ = 0;
+}
+
+}  // namespace crackdb

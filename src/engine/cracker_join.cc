@@ -1,0 +1,102 @@
+#include "engine/cracker_join.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace crackdb {
+
+JoinPairs CrackerHeadJoin(const CrackPairs& left,
+                          const CrackerIndex& left_index,
+                          const CrackPairs& right,
+                          const CrackerIndex& right_index) {
+  JoinPairs out;
+  std::unordered_multimap<Value, uint32_t> table;
+  for (const CrackerIndex::Piece& piece : left_index.Pieces(left.size())) {
+    if (piece.begin >= piece.end) continue;
+    // The right-store area that can contain this piece's value interval:
+    // translate the piece's cut bounds into a predicate for FindArea.
+    RangePredicate range;
+    if (piece.has_lower) {
+      range.low = piece.lower.value;
+      range.low_inclusive = piece.lower.inclusive;
+    }
+    if (piece.has_upper) {
+      // Piece values do NOT satisfy the upper split: v < upper (inclusive
+      // split) or v <= upper (exclusive split).
+      range.high = piece.upper.value;
+      range.high_inclusive = !piece.upper.inclusive;
+    }
+    const PositionRange right_area =
+        right_index.FindArea(range, right.size());
+    if (right_area.empty()) continue;
+
+    // Piece-sized hash build, probe the (bounded) right area.
+    table.clear();
+    table.reserve(piece.end - piece.begin);
+    for (size_t i = piece.begin; i < piece.end; ++i) {
+      table.emplace(left.head[i], static_cast<uint32_t>(i));
+    }
+    for (size_t j = right_area.begin; j < right_area.end; ++j) {
+      auto [lo, hi] = table.equal_range(right.head[j]);
+      for (auto it = lo; it != hi; ++it) {
+        out.left.push_back(it->second);
+        out.right.push_back(static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Pieces of `index` restricted to the qualifying area of `pred`, in
+/// value order.
+std::vector<CrackerIndex::Piece> AreaPieces(const CrackerIndex& index,
+                                            const RangePredicate& pred,
+                                            size_t store_size) {
+  const PositionRange area = index.FindArea(pred, store_size);
+  std::vector<CrackerIndex::Piece> pieces;
+  for (const CrackerIndex::Piece& p : index.Pieces(store_size)) {
+    if (p.begin >= area.begin && p.end <= area.end && p.begin < p.end) {
+      pieces.push_back(p);
+    }
+  }
+  return pieces;
+}
+
+}  // namespace
+
+Value HeadMaxInArea(const CrackPairs& store, const CrackerIndex& index,
+                    const RangePredicate& pred) {
+  const std::vector<CrackerIndex::Piece> pieces =
+      AreaPieces(index, pred, store.size());
+  // Walk pieces from the highest value range down; the first piece that
+  // yields any matching value decides (all lower pieces are bounded below
+  // its lower split).
+  Value best = kMinValue;
+  for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+    for (size_t i = it->begin; i < it->end; ++i) {
+      const Value v = store.head[i];
+      if (pred.Matches(v) && v > best) best = v;
+    }
+    if (best != kMinValue) break;
+  }
+  return best;
+}
+
+Value HeadMinInArea(const CrackPairs& store, const CrackerIndex& index,
+                    const RangePredicate& pred) {
+  const std::vector<CrackerIndex::Piece> pieces =
+      AreaPieces(index, pred, store.size());
+  Value best = kMaxValue;
+  for (const CrackerIndex::Piece& piece : pieces) {
+    for (size_t i = piece.begin; i < piece.end; ++i) {
+      const Value v = store.head[i];
+      if (pred.Matches(v) && v < best) best = v;
+    }
+    if (best != kMaxValue) break;
+  }
+  return best;
+}
+
+}  // namespace crackdb

@@ -1,0 +1,44 @@
+#ifndef CRACKDB_ENGINE_CRACKER_JOIN_H_
+#define CRACKDB_ENGINE_CRACKER_JOIN_H_
+
+#include "common/types.h"
+#include "cracking/crack.h"
+#include "cracking/cracker_index.h"
+#include "engine/operators.h"
+
+namespace crackdb {
+
+/// Extensions sketched in the paper's Section 3.4 / research agenda
+/// ("a join can be performed in a partitioned like way exploiting disjoint
+/// ranges in the input maps", "a max can consider only the last piece"):
+/// operators that read the cracker index's partitioning knowledge instead
+/// of treating cracked stores as opaque arrays.
+
+/// Equi-join over the *head* values of two cracked stores, partition-wise:
+/// every piece of the left store joins only against the right-store area
+/// that can contain its value range (via the right index), so hash tables
+/// stay piece-sized and cache-resident instead of table-sized. Returns
+/// matching (left position, right position) pairs; exact same pair set as
+/// a flat HashJoin of the two head columns.
+///
+/// The more cracked the inputs are, the smaller the partitions — the join
+/// gets faster as a side effect of earlier selections, with zero
+/// preparation. Uncracked inputs degrade gracefully to one flat hash join.
+JoinPairs CrackerHeadJoin(const CrackPairs& left,
+                          const CrackerIndex& left_index,
+                          const CrackPairs& right,
+                          const CrackerIndex& right_index);
+
+/// Max/min of head values inside the qualifying area of `pred`, reading
+/// only the extreme piece(s) of the area rather than scanning it: the
+/// index bounds prove every other piece cannot contain the extremum.
+/// `store` must already be cracked on `pred` (area boundaries exist);
+/// returns kMinValue / kMaxValue respectively on an empty area.
+Value HeadMaxInArea(const CrackPairs& store, const CrackerIndex& index,
+                    const RangePredicate& pred);
+Value HeadMinInArea(const CrackPairs& store, const CrackerIndex& index,
+                    const RangePredicate& pred);
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ENGINE_CRACKER_JOIN_H_

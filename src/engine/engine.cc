@@ -1,0 +1,23 @@
+#include "engine/engine.h"
+
+#include "common/timer.h"
+
+namespace crackdb {
+
+QueryResult Engine::Run(const QuerySpec& spec) {
+  QueryResult result;
+  Timer select_timer;
+  std::unique_ptr<SelectionHandle> handle = Select(spec);
+  cost_.select_micros += select_timer.ElapsedMicros();
+
+  Timer tr_timer;
+  result.columns.reserve(spec.projections.size());
+  for (const std::string& attr : spec.projections) {
+    result.columns.push_back(handle->Fetch(attr));
+  }
+  result.num_rows = handle->NumRows();
+  cost_.reconstruct_micros += tr_timer.ElapsedMicros();
+  return result;
+}
+
+}  // namespace crackdb

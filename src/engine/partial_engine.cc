@@ -1,0 +1,124 @@
+#include "engine/partial_engine.h"
+
+#include <cassert>
+#include <limits>
+
+namespace crackdb {
+
+namespace {
+
+/// Partial queries execute chunk-wise inside Select (the whole working set
+/// of attributes is declared in spec.projections), so the handle serves
+/// pre-materialized columns.
+class PartialHandle : public SelectionHandle {
+ public:
+  PartialHandle(std::vector<std::string> projections,
+                PartialQueryResult result)
+      : projections_(std::move(projections)), result_(std::move(result)) {}
+
+  size_t NumRows() override { return result_.num_rows; }
+
+  std::vector<Value> Fetch(const std::string& attr) override {
+    return *ColumnOf(attr);
+  }
+
+  std::vector<Value> FetchAt(const std::string& attr,
+                             std::span<const uint32_t> ordinals) override {
+    const std::vector<Value>* column = ColumnOf(attr);
+    std::vector<Value> out;
+    out.reserve(ordinals.size());
+    for (uint32_t ord : ordinals) out.push_back((*column)[ord]);
+    return out;
+  }
+
+  std::span<const Value> FetchView(const std::string& attr,
+                                   std::vector<Value>* storage) override {
+    // Chunk-wise execution already materialized the columns; view them.
+    (void)storage;
+    const std::vector<Value>* column = ColumnOf(attr);
+    return {column->data(), column->size()};
+  }
+
+ private:
+  const std::vector<Value>* ColumnOf(const std::string& attr) {
+    for (size_t i = 0; i < projections_.size(); ++i) {
+      if (projections_[i] == attr) return &result_.columns[i];
+    }
+    assert(false && "attribute was not declared in spec.projections");
+    static const std::vector<Value> kEmpty;
+    return &kEmpty;
+  }
+
+  std::vector<std::string> projections_;
+  PartialQueryResult result_;
+};
+
+}  // namespace
+
+PartialSidewaysEngine::PartialSidewaysEngine(const Relation& relation,
+                                             PartialConfig config)
+    : relation_(&relation),
+      config_(config),
+      storage_(config.storage_budget_tuples * 2) {}
+
+PartialMapSet& PartialSidewaysEngine::GetOrCreateSet(
+    const std::string& head_attr) {
+  auto it = sets_.find(head_attr);
+  if (it == sets_.end()) {
+    it = sets_
+             .emplace(head_attr,
+                      std::make_unique<PartialMapSet>(*relation_, head_attr,
+                                                      &storage_, &config_))
+             .first;
+  }
+  return *it->second;
+}
+
+bool PartialSidewaysEngine::HasSet(const std::string& head_attr) const {
+  return sets_.count(head_attr) != 0;
+}
+
+size_t PartialSidewaysEngine::ChooseHeadSelection(const QuerySpec& spec) {
+  if (spec.selections.size() <= 1) return 0;
+  size_t best = std::numeric_limits<size_t>::max();
+  double best_est = 0;
+  for (size_t i = 0; i < spec.selections.size(); ++i) {
+    auto it = sets_.find(spec.selections[i].attr);
+    if (it == sets_.end()) continue;
+    const double est =
+        it->second->EstimateMatches(spec.selections[i].pred).interpolated;
+    if (best == std::numeric_limits<size_t>::max() || est < best_est) {
+      best = i;
+      best_est = est;
+    }
+  }
+  return best == std::numeric_limits<size_t>::max() ? 0 : best;
+}
+
+std::unique_ptr<SelectionHandle> PartialSidewaysEngine::Select(
+    const QuerySpec& spec) {
+  assert(!spec.disjunctive &&
+         "partial sideways engine serves conjunctive queries");
+  PartialQueryRequest request;
+  std::string head_attr;
+  if (spec.selections.empty()) {
+    head_attr = spec.projections.empty() ? relation_->column_names()[0]
+                                         : spec.projections[0];
+    request.head_pred = RangePredicate{};
+  } else {
+    const size_t head_idx = ChooseHeadSelection(spec);
+    head_attr = spec.selections[head_idx].attr;
+    request.head_pred = spec.selections[head_idx].pred;
+    for (size_t i = 0; i < spec.selections.size(); ++i) {
+      if (i == head_idx) continue;
+      request.tail_selections.emplace_back(spec.selections[i].attr,
+                                           spec.selections[i].pred);
+    }
+  }
+  request.projections = spec.projections;
+  PartialMapSet& set = GetOrCreateSet(head_attr);
+  PartialQueryResult result = set.Execute(request);
+  return std::make_unique<PartialHandle>(spec.projections, std::move(result));
+}
+
+}  // namespace crackdb

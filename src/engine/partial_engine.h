@@ -1,0 +1,52 @@
+#ifndef CRACKDB_ENGINE_PARTIAL_ENGINE_H_
+#define CRACKDB_ENGINE_PARTIAL_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/partial_sideways.h"
+#include "core/storage_manager.h"
+#include "engine/engine.h"
+#include "storage/relation.h"
+
+namespace crackdb {
+
+/// Partial sideways cracking (paper Section 4): map sets materialize only
+/// the chunks the workload demands, under a storage budget shared across
+/// all sets of the engine. Queries execute chunk-wise.
+///
+/// Scope note: conjunctive queries only — the paper evaluates partial maps
+/// on conjunctive workloads (Figures 9-13); disjunctions over partial maps
+/// would require materializing every area and are served by the full-map
+/// engine instead.
+class PartialSidewaysEngine : public Engine {
+ public:
+  explicit PartialSidewaysEngine(const Relation& relation,
+                                 PartialConfig config = {});
+
+  std::string name() const override { return "partial-sideways"; }
+
+  std::unique_ptr<SelectionHandle> Select(const QuerySpec& spec) override;
+
+  PartialMapSet& GetOrCreateSet(const std::string& head_attr);
+  bool HasSet(const std::string& head_attr) const;
+
+  /// Chunk storage across all sets, in tuples (Figure 9(d) series).
+  size_t ChunkStorageTuples() const { return storage_.used_half_tuples() / 2; }
+
+  const StorageManager& storage() const { return storage_; }
+  const PartialConfig& config() const { return config_; }
+
+ private:
+  size_t ChooseHeadSelection(const QuerySpec& spec);
+
+  const Relation* relation_;
+  PartialConfig config_;
+  StorageManager storage_;
+  std::map<std::string, std::unique_ptr<PartialMapSet>> sets_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ENGINE_PARTIAL_ENGINE_H_

@@ -1,0 +1,81 @@
+#include "engine/plain_engine.h"
+
+#include <algorithm>
+
+namespace crackdb {
+
+namespace {
+
+class PlainHandle : public SelectionHandle {
+ public:
+  PlainHandle(const Relation& relation, std::vector<Key> keys)
+      : relation_(&relation), keys_(std::move(keys)) {}
+
+  size_t NumRows() override { return keys_.size(); }
+
+  std::vector<Value> Fetch(const std::string& attr) override {
+    // keys_ ascend (order-preserving select), so this is the sequential
+    // in-order positional gather of late tuple reconstruction.
+    return relation_->column(attr).Reconstruct(keys_);
+  }
+
+  std::vector<Value> FetchAt(const std::string& attr,
+                             std::span<const uint32_t> ordinals) override {
+    const Column& column = relation_->column(attr);
+    std::vector<Value> out;
+    out.reserve(ordinals.size());
+    // Post-join order: scattered lookups over the whole base column.
+    for (uint32_t ord : ordinals) out.push_back(column[keys_[ord]]);
+    return out;
+  }
+
+ private:
+  const Relation* relation_;
+  std::vector<Key> keys_;
+};
+
+}  // namespace
+
+std::unique_ptr<SelectionHandle> PlainEngine::Select(const QuerySpec& spec) {
+  const std::vector<bool>* deleted =
+      relation_->num_deleted() > 0 ? &relation_->deleted() : nullptr;
+  std::vector<Key> keys;
+  if (spec.selections.empty()) {
+    keys.reserve(relation_->num_live_rows());
+    for (size_t i = 0; i < relation_->num_rows(); ++i) {
+      if (deleted != nullptr && (*deleted)[i]) continue;
+      keys.push_back(static_cast<Key>(i));
+    }
+  } else if (!spec.disjunctive) {
+    keys = relation_->column(spec.selections[0].attr)
+               .Select(spec.selections[0].pred, deleted);
+    for (size_t s = 1; s < spec.selections.size(); ++s) {
+      const Column& column = relation_->column(spec.selections[s].attr);
+      const RangePredicate& pred = spec.selections[s].pred;
+      std::vector<Key> refined;
+      refined.reserve(keys.size());
+      for (Key k : keys) {
+        if (pred.Matches(column[k])) refined.push_back(k);
+      }
+      keys = std::move(refined);
+    }
+  } else {
+    // Disjunction: per-attribute scans, then a sorted merge-union of the
+    // (already ascending) key lists.
+    std::vector<std::vector<Key>> lists;
+    lists.reserve(spec.selections.size());
+    for (const QuerySpec::Selection& sel : spec.selections) {
+      lists.push_back(relation_->column(sel.attr).Select(sel.pred, deleted));
+    }
+    for (const std::vector<Key>& list : lists) {
+      std::vector<Key> merged;
+      merged.reserve(keys.size() + list.size());
+      std::set_union(keys.begin(), keys.end(), list.begin(), list.end(),
+                     std::back_inserter(merged));
+      keys = std::move(merged);
+    }
+  }
+  return std::make_unique<PlainHandle>(*relation_, std::move(keys));
+}
+
+}  // namespace crackdb

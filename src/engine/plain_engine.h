@@ -1,0 +1,31 @@
+#ifndef CRACKDB_ENGINE_PLAIN_ENGINE_H_
+#define CRACKDB_ENGINE_PLAIN_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "storage/relation.h"
+
+namespace crackdb {
+
+/// The non-cracking column-store baseline ("plain MonetDB"): selections
+/// scan base columns producing key lists in insertion order, conjunctions
+/// refine the key list with in-order positional lookups, and tuple
+/// reconstruction is a cache-friendly sequential positional gather (paper
+/// Section 2.1). No auxiliary structures, no learning across queries.
+class PlainEngine : public Engine {
+ public:
+  explicit PlainEngine(const Relation& relation) : relation_(&relation) {}
+
+  std::string name() const override { return "plain"; }
+
+  std::unique_ptr<SelectionHandle> Select(const QuerySpec& spec) override;
+
+ private:
+  const Relation* relation_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ENGINE_PLAIN_ENGINE_H_

@@ -1,0 +1,43 @@
+#include "engine/reorder.h"
+
+#include <algorithm>
+
+namespace crackdb {
+
+std::vector<Value> ReconstructUnordered(const Column& base,
+                                        const std::vector<Key>& keys) {
+  std::vector<Value> out;
+  out.reserve(keys.size());
+  for (Key k : keys) out.push_back(base[k]);
+  return out;
+}
+
+std::vector<Value> ReconstructViaSort(const Column& base,
+                                      std::vector<Key>* keys) {
+  std::sort(keys->begin(), keys->end());
+  return ReconstructUnordered(base, *keys);
+}
+
+void RadixClusterKeys(std::vector<Key>* keys, unsigned region_bits,
+                      size_t domain_size) {
+  if (keys->empty() || domain_size == 0) return;
+  const size_t num_regions = (domain_size >> region_bits) + 1;
+  if (num_regions <= 1) return;
+  // Counting sort on the region id (key >> region_bits): one pass to
+  // count, one to scatter — the out-of-place radix-cluster of [10].
+  std::vector<size_t> counts(num_regions + 1, 0);
+  for (Key k : *keys) ++counts[(k >> region_bits) + 1];
+  for (size_t i = 1; i <= num_regions; ++i) counts[i] += counts[i - 1];
+  std::vector<Key> clustered(keys->size());
+  for (Key k : *keys) clustered[counts[k >> region_bits]++] = k;
+  *keys = std::move(clustered);
+}
+
+std::vector<Value> ReconstructViaRadixCluster(const Column& base,
+                                              std::vector<Key>* keys,
+                                              unsigned region_bits) {
+  RadixClusterKeys(keys, region_bits, base.size());
+  return ReconstructUnordered(base, *keys);
+}
+
+}  // namespace crackdb

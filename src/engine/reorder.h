@@ -1,0 +1,44 @@
+#ifndef CRACKDB_ENGINE_REORDER_H_
+#define CRACKDB_ENGINE_REORDER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "storage/column.h"
+
+namespace crackdb {
+
+/// Intermediate-result reordering strategies for tuple reconstruction over
+/// unordered key lists — the paper's Exp3. Selection cracking produces
+/// cracked-order keys; before reconstructing k attributes one can:
+///   - do nothing (random access per reconstruction),
+///   - sort the keys once (every reconstruction becomes in-order), or
+///   - radix-cluster the keys into cache-sized base-column regions
+///     (the cache-friendly middle ground of [10], "Cache-Conscious
+///     Radix-Decluster Projections").
+
+/// Random-access reconstruction, keys as-is.
+std::vector<Value> ReconstructUnordered(const Column& base,
+                                        const std::vector<Key>& keys);
+
+/// Sorts `keys` ascending (in place) so subsequent reconstructions are
+/// sequential. Returns the reconstruction for `base`.
+std::vector<Value> ReconstructViaSort(const Column& base,
+                                      std::vector<Key>* keys);
+
+/// Partitions `keys` (in place, stable within partitions) such that each
+/// partition addresses a contiguous base region of at most 2^`region_bits`
+/// positions, then reconstructs partition by partition: random access
+/// confined to a cache-resident region.
+std::vector<Value> ReconstructViaRadixCluster(const Column& base,
+                                              std::vector<Key>* keys,
+                                              unsigned region_bits);
+
+/// The clustering step alone (exposed for reuse and tests): reorders keys
+/// by their high bits with a counting sort.
+void RadixClusterKeys(std::vector<Key>* keys, unsigned region_bits,
+                      size_t domain_size);
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ENGINE_REORDER_H_

@@ -1,0 +1,122 @@
+#include "engine/row_engine.h"
+
+#include "common/timer.h"
+
+namespace crackdb {
+
+namespace {
+
+class RowHandle : public SelectionHandle {
+ public:
+  RowHandle(const RowStore& store, std::vector<uint32_t> rows)
+      : store_(&store), rows_(std::move(rows)) {}
+
+  size_t NumRows() override { return rows_.size(); }
+
+  std::vector<Value> Fetch(const std::string& attr) override {
+    const size_t col = store_->ColumnOrdinal(attr);
+    std::vector<Value> out;
+    out.reserve(rows_.size());
+    for (uint32_t r : rows_) out.push_back(store_->At(r, col));
+    return out;
+  }
+
+  std::vector<Value> FetchAt(const std::string& attr,
+                             std::span<const uint32_t> ordinals) override {
+    const size_t col = store_->ColumnOrdinal(attr);
+    std::vector<Value> out;
+    out.reserve(ordinals.size());
+    for (uint32_t ord : ordinals) out.push_back(store_->At(rows_[ord], col));
+    return out;
+  }
+
+ private:
+  const RowStore* store_;
+  std::vector<uint32_t> rows_;
+};
+
+}  // namespace
+
+RowEngine::RowEngine(const Relation& relation, bool presorted)
+    : relation_(&relation), presorted_(presorted) {
+  BuildBase();
+}
+
+void RowEngine::RefreshIfStale() {
+  if (log_version_ == relation_->log_version()) return;
+  BuildBase();
+  sorted_copies_.clear();
+}
+
+void RowEngine::BuildBase() {
+  log_version_ = relation_->log_version();
+  base_ = std::make_unique<RowStore>(relation_->column_names());
+  base_->Reserve(relation_->num_live_rows());
+  std::vector<Value> row(relation_->num_columns());
+  for (size_t r = 0; r < relation_->num_rows(); ++r) {
+    if (relation_->IsDeleted(static_cast<Key>(r))) continue;
+    for (size_t c = 0; c < relation_->num_columns(); ++c) {
+      row[c] = relation_->column(c)[r];
+    }
+    base_->AppendRow(row);
+  }
+}
+
+RowStore& RowEngine::GetOrCreateSorted(const std::string& attr) {
+  auto it = sorted_copies_.find(attr);
+  if (it != sorted_copies_.end()) return *it->second;
+  Timer prepare_timer;
+  auto copy = std::make_unique<RowStore>(relation_->column_names());
+  copy->Reserve(base_->num_rows());
+  for (size_t r = 0; r < base_->num_rows(); ++r) copy->AppendRow(base_->Row(r));
+  copy->SortBy(copy->ColumnOrdinal(attr));
+  it = sorted_copies_.emplace(attr, std::move(copy)).first;
+  cost_.prepare_micros += prepare_timer.ElapsedMicros();
+  return *it->second;
+}
+
+std::unique_ptr<SelectionHandle> RowEngine::Select(const QuerySpec& spec) {
+  RefreshIfStale();
+  // Resolve predicate column ordinals once.
+  const RowStore* store = base_.get();
+  size_t scan_begin = 0;
+  size_t scan_end = base_->num_rows();
+  size_t skip_predicate = static_cast<size_t>(-1);
+
+  if (presorted_ && !spec.selections.empty() && !spec.disjunctive) {
+    RowStore& sorted = GetOrCreateSorted(spec.selections[0].attr);
+    store = &sorted;
+    const PositionRange range = sorted.EqualRange(spec.selections[0].pred);
+    scan_begin = range.begin;
+    scan_end = range.end;
+    skip_predicate = 0;
+  }
+
+  std::vector<size_t> cols;
+  cols.reserve(spec.selections.size());
+  for (const QuerySpec::Selection& sel : spec.selections) {
+    cols.push_back(store->ColumnOrdinal(sel.attr));
+  }
+
+  std::vector<uint32_t> rows;
+  for (size_t r = scan_begin; r < scan_end; ++r) {
+    bool keep = spec.disjunctive ? spec.selections.empty() : true;
+    for (size_t s = 0; s < spec.selections.size(); ++s) {
+      if (s == skip_predicate) continue;
+      const bool match = spec.selections[s].pred.Matches(store->At(r, cols[s]));
+      if (spec.disjunctive) {
+        if (match) {
+          keep = true;
+          break;
+        }
+      } else if (!match) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) rows.push_back(static_cast<uint32_t>(r));
+  }
+  return std::make_unique<RowHandle>(*store, std::move(rows));
+}
+
+}  // namespace crackdb

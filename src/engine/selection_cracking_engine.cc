@@ -1,0 +1,102 @@
+#include "engine/selection_cracking_engine.h"
+
+#include <algorithm>
+
+namespace crackdb {
+
+namespace {
+
+class CrackedKeysHandle : public SelectionHandle {
+ public:
+  CrackedKeysHandle(const Relation& relation, std::vector<Key> keys)
+      : relation_(&relation), keys_(std::move(keys)) {}
+
+  size_t NumRows() override { return keys_.size(); }
+
+  std::vector<Value> Fetch(const std::string& attr) override {
+    // Keys arrive in cracked order: randomly-ordered positional lookups
+    // into the base column — no spatial or temporal locality (the paper's
+    // Exp1 explanation).
+    const Column& column = relation_->column(attr);
+    std::vector<Value> out;
+    out.reserve(keys_.size());
+    for (Key k : keys_) out.push_back(column[k]);
+    return out;
+  }
+
+  std::vector<Value> FetchAt(const std::string& attr,
+                             std::span<const uint32_t> ordinals) override {
+    const Column& column = relation_->column(attr);
+    std::vector<Value> out;
+    out.reserve(ordinals.size());
+    for (uint32_t ord : ordinals) out.push_back(column[keys_[ord]]);
+    return out;
+  }
+
+ private:
+  const Relation* relation_;
+  std::vector<Key> keys_;
+};
+
+}  // namespace
+
+CrackerColumn& SelectionCrackingEngine::GetOrCreate(const std::string& attr) {
+  auto it = columns_.find(attr);
+  if (it == columns_.end()) {
+    it = columns_
+             .emplace(attr,
+                      std::make_unique<CrackerColumn>(*relation_, attr))
+             .first;
+  }
+  return *it->second;
+}
+
+bool SelectionCrackingEngine::HasCrackerColumn(const std::string& attr) const {
+  return columns_.count(attr) != 0;
+}
+
+std::unique_ptr<SelectionHandle> SelectionCrackingEngine::Select(
+    const QuerySpec& spec) {
+  std::vector<Key> keys;
+  if (spec.selections.empty()) {
+    keys.reserve(relation_->num_live_rows());
+    for (size_t i = 0; i < relation_->num_rows(); ++i) {
+      if (!relation_->IsDeleted(static_cast<Key>(i))) {
+        keys.push_back(static_cast<Key>(i));
+      }
+    }
+  } else if (!spec.disjunctive) {
+    // crackers.select on the first (most selective) predicate...
+    CrackerColumn& cracker = GetOrCreate(spec.selections[0].attr);
+    const std::span<const Value> raw =
+        cracker.SelectKeys(spec.selections[0].pred);
+    keys.reserve(raw.size());
+    for (Value v : raw) keys.push_back(static_cast<Key>(v));
+    // ...then crackers.rel_select for the rest: select + reconstruct in one
+    // go over the unordered key list (paper Section 2.2).
+    for (size_t s = 1; s < spec.selections.size(); ++s) {
+      const Column& column = relation_->column(spec.selections[s].attr);
+      const RangePredicate& pred = spec.selections[s].pred;
+      std::vector<Key> refined;
+      refined.reserve(keys.size());
+      for (Key k : keys) {
+        if (pred.Matches(column[k])) refined.push_back(k);
+      }
+      keys = std::move(refined);
+    }
+  } else {
+    // Disjunction: every predicate cracks its own column; key lists are
+    // unordered, so the union needs a sort + unique.
+    for (const QuerySpec::Selection& sel : spec.selections) {
+      CrackerColumn& cracker = GetOrCreate(sel.attr);
+      for (Value v : cracker.SelectKeys(sel.pred)) {
+        keys.push_back(static_cast<Key>(v));
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  return std::make_unique<CrackedKeysHandle>(*relation_, std::move(keys));
+}
+
+}  // namespace crackdb

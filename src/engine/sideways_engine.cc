@@ -1,0 +1,196 @@
+#include "engine/sideways_engine.h"
+
+#include <limits>
+
+#include "core/sideways.h"
+
+namespace crackdb {
+
+namespace {
+
+class SidewaysHandle : public SelectionHandle {
+ public:
+  SidewaysHandle(MapSet& set, const RangePredicate& head_pred,
+                 bool disjunctive, const std::string& head_attr)
+      : head_attr_(head_attr), query_(set, head_pred, disjunctive) {}
+
+  SidewaysQuery& query() { return query_; }
+
+  size_t NumRows() override { return query_.NumQualifying(); }
+
+  std::vector<Value> Fetch(const std::string& attr) override {
+    if (attr == head_attr_) return query_.FetchHead();
+    return query_.FetchTail(attr);
+  }
+
+  std::vector<Value> FetchAt(const std::string& attr,
+                             std::span<const uint32_t> ordinals) override {
+    if (attr == head_attr_) return query_.FetchHeadAt(ordinals);
+    return query_.FetchTailAt(attr, ordinals);
+  }
+
+  std::span<const Value> FetchView(const std::string& attr,
+                                   std::vector<Value>* storage) override {
+    bool ok = false;
+    const std::span<const Value> view = attr == head_attr_
+                                            ? query_.HeadView(&ok)
+                                            : query_.TailView(attr, &ok);
+    if (ok) return view;
+    *storage = Fetch(attr);
+    return {storage->data(), storage->size()};
+  }
+
+ private:
+  std::string head_attr_;
+  SidewaysQuery query_;
+};
+
+}  // namespace
+
+SidewaysEngine::SidewaysEngine(const Relation& relation,
+                               size_t storage_budget_tuples)
+    : relation_(&relation), storage_(storage_budget_tuples * 2) {}
+
+MapSet& SidewaysEngine::GetOrCreateSet(const std::string& head_attr) {
+  auto it = sets_.find(head_attr);
+  if (it == sets_.end()) {
+    it = sets_.emplace(head_attr, std::make_unique<MapSet>(*relation_,
+                                                           head_attr))
+             .first;
+  }
+  return *it->second;
+}
+
+bool SidewaysEngine::HasSet(const std::string& head_attr) const {
+  return sets_.count(head_attr) != 0;
+}
+
+CrackerMap& SidewaysEngine::ObtainMap(MapSet& set,
+                                      const std::string& tail_attr) {
+  const auto key = std::make_pair(set.head_attr(), tail_attr);
+  if (set.HasMap(tail_attr)) {
+    CrackerMap& map = set.GetOrCreateMap(tail_attr);
+    auto id_it = map_ids_.find(key);
+    if (id_it != map_ids_.end()) {
+      storage_.Pin(id_it->second);
+      storage_.RecordAccess(id_it->second);
+    }
+    return map;
+  }
+  const size_t cost = 2 * set.snapshot_size();
+  storage_.EnsureRoom(cost);
+  CrackerMap& map = set.GetOrCreateMap(tail_attr);
+  MapSet* set_ptr = &set;
+  auto* ids = &map_ids_;
+  const uint64_t id =
+      storage_.Register(cost, [set_ptr, tail_attr, key, ids]() {
+        set_ptr->DropMap(tail_attr);
+        ids->erase(key);
+      });
+  map_ids_[key] = id;
+  storage_.Pin(id);
+  storage_.RecordAccess(id);
+  return map;
+}
+
+size_t SidewaysEngine::ChooseHeadSelection(const QuerySpec& spec) {
+  if (spec.selections.size() <= 1) return 0;
+  size_t best = std::numeric_limits<size_t>::max();
+  double best_est = 0;
+  for (size_t i = 0; i < spec.selections.size(); ++i) {
+    auto it = sets_.find(spec.selections[i].attr);
+    if (it == sets_.end()) continue;  // no histogram knowledge yet
+    const double est =
+        it->second->EstimateMatches(spec.selections[i].pred).interpolated;
+    const bool better = best == std::numeric_limits<size_t>::max() ||
+                        (spec.disjunctive ? est > best_est : est < best_est);
+    if (better) {
+      best = i;
+      best_est = est;
+    }
+  }
+  // Cold start: no set has knowledge — trust the caller's most-selective-
+  // first ordering (least selective = last for disjunctions).
+  if (best == std::numeric_limits<size_t>::max()) {
+    return spec.disjunctive ? spec.selections.size() - 1 : 0;
+  }
+  return best;
+}
+
+std::unique_ptr<SelectionHandle> SidewaysEngine::Select(
+    const QuerySpec& spec) {
+  storage_.UnpinAll();
+  if (spec.selections.empty()) {
+    // Selection-free projection: scan-equivalent via a full-domain
+    // predicate over the first projection's set.
+    const std::string attr =
+        spec.projections.empty() ? relation_->column_names()[0]
+                                 : spec.projections[0];
+    MapSet& set = GetOrCreateSet(attr);
+    for (const std::string& proj : spec.projections) {
+      ObtainMap(set, proj == attr ? attr : proj);
+    }
+    return std::make_unique<SidewaysHandle>(set, RangePredicate{}, false,
+                                            attr);
+  }
+
+  const size_t head_idx = ChooseHeadSelection(spec);
+  const QuerySpec::Selection& head = spec.selections[head_idx];
+  MapSet& set = GetOrCreateSet(head.attr);
+  if (spec.disjunctive) {
+    // Disjunctions scan the whole map for unmarked qualifiers, so every
+    // pending update is relevant regardless of the head predicate.
+    set.PullUpdates(RangePredicate{});
+  }
+
+  // Materialize (under the budget) every map this query will touch.
+  for (size_t i = 0; i < spec.selections.size(); ++i) {
+    if (i == head_idx) continue;
+    ObtainMap(set, spec.selections[i].attr);
+  }
+  for (const std::string& proj : spec.projections) {
+    if (proj == head.attr) {
+      // Head projections read the head column of any map; make sure at
+      // least one exists.
+      if (set.MapNames().empty()) ObtainMap(set, head.attr);
+      continue;
+    }
+    ObtainMap(set, proj);
+  }
+
+  auto handle = std::make_unique<SidewaysHandle>(set, head.pred,
+                                                 spec.disjunctive, head.attr);
+  // Bit-vector pipeline over the remaining selections (Section 3.3).
+  for (size_t i = 0; i < spec.selections.size(); ++i) {
+    if (i == head_idx) continue;
+    handle->query().AddTailSelection(spec.selections[i].attr,
+                                     spec.selections[i].pred);
+  }
+  // Align and crack every map the plan declared (Section 3.2: a map is
+  // first aligned, then cracked, as part of the selection pipeline). This
+  // keeps reconstructions — including post-join scattered access — pure
+  // clustered reads into already-aligned areas.
+  if (spec.selections.size() == 1 && set.MapNames().empty()) {
+    ObtainMap(set, head.attr);
+  }
+  for (const std::string& proj : spec.projections) {
+    const std::string attr =
+        (proj == head.attr && !set.MapNames().empty()) ? set.MapNames().front()
+                                                       : proj;
+    CrackerMap& map = set.GetOrCreateMap(attr);
+    set.SidewaysSelect(map, head.pred);
+  }
+  if (spec.projections.empty() && spec.selections.size() == 1) {
+    CrackerMap& map = set.GetOrCreateMap(set.MapNames().front());
+    set.SidewaysSelect(map, head.pred);
+  }
+  return handle;
+}
+
+size_t SidewaysEngine::MapStorageTuples() const {
+  size_t total = 0;
+  for (const auto& [attr, set] : sets_) total += set->MapStorageTuples();
+  return total;
+}
+
+}  // namespace crackdb

@@ -1,0 +1,63 @@
+#ifndef CRACKDB_ENGINE_SIDEWAYS_ENGINE_H_
+#define CRACKDB_ENGINE_SIDEWAYS_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/map_set.h"
+#include "core/storage_manager.h"
+#include "engine/engine.h"
+#include "storage/relation.h"
+
+namespace crackdb {
+
+/// Sideways cracking with fully materialized maps (paper Section 3).
+///
+/// One MapSet per head attribute, created on demand. For a conjunctive
+/// query the engine picks the map set of the *most selective* predicate
+/// using the cracker indices as self-organizing histograms (Section 3.3);
+/// disjunctive queries symmetrically pick the *least* selective. All other
+/// predicates run as bit-vector refinements over the chosen set's aligned
+/// maps, and projections are map-tail reconstructions.
+///
+/// An optional storage threshold (tuples across all maps) reproduces the
+/// storage-restricted full-map behaviour of Section 4.2: before a new map
+/// is materialized, least-frequently-accessed maps are dropped to make
+/// room; recreation replays the set tape.
+class SidewaysEngine : public Engine {
+ public:
+  /// `storage_budget_tuples` of 0 = unlimited.
+  explicit SidewaysEngine(const Relation& relation,
+                          size_t storage_budget_tuples = 0);
+
+  std::string name() const override { return "sideways"; }
+
+  std::unique_ptr<SelectionHandle> Select(const QuerySpec& spec) override;
+
+  MapSet& GetOrCreateSet(const std::string& head_attr);
+  bool HasSet(const std::string& head_attr) const;
+
+  /// Auxiliary map storage in tuples (for the Figure 9(d) storage series).
+  size_t MapStorageTuples() const;
+
+  const StorageManager& storage() const { return storage_; }
+
+ private:
+  /// Materializes M_{head,tail} under the storage budget and pins it.
+  CrackerMap& ObtainMap(MapSet& set, const std::string& tail_attr);
+
+  /// Index into spec.selections of the head predicate per Section 3.3's
+  /// map-set-choice rule.
+  size_t ChooseHeadSelection(const QuerySpec& spec);
+
+  const Relation* relation_;
+  StorageManager storage_;
+  std::map<std::string, std::unique_ptr<MapSet>> sets_;
+  /// StorageManager ids of live maps, keyed by (head, tail).
+  std::map<std::pair<std::string, std::string>, uint64_t> map_ids_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ENGINE_SIDEWAYS_ENGINE_H_

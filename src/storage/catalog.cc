@@ -1,0 +1,57 @@
+#include "storage/catalog.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crackdb {
+
+Relation& Catalog::CreateRelation(const std::string& name) {
+  auto [it, inserted] =
+      relations_.emplace(name, std::make_unique<Relation>(name));
+  if (!inserted) {
+    std::fprintf(stderr, "crackdb: duplicate relation '%s'\n", name.c_str());
+    std::abort();
+  }
+  return *it->second;
+}
+
+Relation& Catalog::relation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    std::fprintf(stderr, "crackdb: unknown relation '%s'\n", name.c_str());
+    std::abort();
+  }
+  return *it->second;
+}
+
+const Relation& Catalog::relation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    std::fprintf(stderr, "crackdb: unknown relation '%s'\n", name.c_str());
+    std::abort();
+  }
+  return *it->second;
+}
+
+bool Catalog::HasRelation(const std::string& name) const {
+  return relations_.count(name) != 0;
+}
+
+Dictionary& Catalog::dictionary(const std::string& qualified_column) {
+  auto it = dictionaries_.find(qualified_column);
+  if (it == dictionaries_.end()) {
+    it = dictionaries_
+             .emplace(qualified_column, std::make_unique<Dictionary>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Catalog::relation_names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace crackdb

@@ -1,0 +1,41 @@
+#ifndef CRACKDB_STORAGE_CATALOG_H_
+#define CRACKDB_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/dictionary.h"
+#include "storage/relation.h"
+
+namespace crackdb {
+
+/// Owns all relations and string dictionaries of a database instance.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty relation; dies on duplicates.
+  Relation& CreateRelation(const std::string& name);
+
+  Relation& relation(const std::string& name);
+  const Relation& relation(const std::string& name) const;
+  bool HasRelation(const std::string& name) const;
+
+  /// Dictionary shared by all string attributes of `relation.column`;
+  /// created on first access.
+  Dictionary& dictionary(const std::string& qualified_column);
+
+  std::vector<std::string> relation_names() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+  std::unordered_map<std::string, std::unique_ptr<Dictionary>> dictionaries_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_STORAGE_CATALOG_H_

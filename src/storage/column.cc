@@ -1,0 +1,37 @@
+#include "storage/column.h"
+
+namespace crackdb {
+
+std::vector<Key> Column::Select(const RangePredicate& pred) const {
+  return Select(pred, nullptr);
+}
+
+std::vector<Key> Column::Select(const RangePredicate& pred,
+                                const std::vector<bool>* deleted) const {
+  std::vector<Key> out;
+  const size_t n = values_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (pred.Matches(values_[i])) {
+      if (deleted != nullptr && (*deleted)[i]) continue;
+      out.push_back(static_cast<Key>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<Value> Column::Reconstruct(std::span<const Key> positions) const {
+  std::vector<Value> out;
+  out.reserve(positions.size());
+  for (Key k : positions) out.push_back(values_[k]);
+  return out;
+}
+
+size_t Column::CountMatches(const RangePredicate& pred) const {
+  size_t n = 0;
+  for (Value v : values_) {
+    if (pred.Matches(v)) ++n;
+  }
+  return n;
+}
+
+}  // namespace crackdb

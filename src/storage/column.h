@@ -1,0 +1,68 @@
+#ifndef CRACKDB_STORAGE_COLUMN_H_
+#define CRACKDB_STORAGE_COLUMN_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crackdb {
+
+/// A base column: the MonetDB BAT with a virtual dense key head.
+///
+/// The tail holds the attribute values in tuple-insertion order; the head
+/// (tuple keys 0..n-1) is never materialized. All attribute values of a
+/// relational tuple sit at the same position across the relation's columns,
+/// which is the tuple-order alignment that makes positional tuple
+/// reconstruction a sequential merge (paper Section 2.1).
+class Column {
+ public:
+  explicit Column(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  Value operator[](size_t i) const { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  void Reserve(size_t n) { values_.reserve(n); }
+  void Append(Value v) { values_.push_back(v); }
+  void AppendAll(std::span<const Value> vs) {
+    values_.insert(values_.end(), vs.begin(), vs.end());
+  }
+
+  /// In-place overwrite; used only by the update machinery of the plain
+  /// engine (cracking engines never mutate base columns).
+  void Set(size_t i, Value v) { values_[i] = v; }
+
+  /// MonetDB's `select(A, v1, v2)`: returns the keys (positions) of all
+  /// qualifying tuples, in key order. Because base columns are scanned in
+  /// insertion order, the result is tuple-order-preserving, which later
+  /// makes `Reconstruct` a cache-friendly in-order walk.
+  std::vector<Key> Select(const RangePredicate& pred) const;
+
+  /// As Select, but skips positions whose bit is set in `deleted` (the
+  /// relation's tombstone bitmap); `deleted` may be null.
+  std::vector<Key> Select(const RangePredicate& pred,
+                          const std::vector<bool>* deleted) const;
+
+  /// MonetDB's `reconstruct(A, r)`: fetches values at `positions`. If the
+  /// positions are ascending (order-preserving upstream operator) this is a
+  /// sequential in-order gather; otherwise it degrades to random access —
+  /// exactly the asymmetry the paper's Exp1/Exp3 measure.
+  std::vector<Value> Reconstruct(std::span<const Key> positions) const;
+
+  /// Count of qualifying tuples (scan); used by tests as ground truth.
+  size_t CountMatches(const RangePredicate& pred) const;
+
+ private:
+  std::string name_;
+  std::vector<Value> values_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_STORAGE_COLUMN_H_

@@ -1,0 +1,41 @@
+#include "storage/dictionary.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace crackdb {
+
+void Dictionary::RegisterSorted(std::vector<std::string> domain) {
+  if (!strings_.empty()) {
+    std::fprintf(stderr, "crackdb: RegisterSorted on non-empty dictionary\n");
+    std::abort();
+  }
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  strings_ = std::move(domain);
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    codes_[strings_[i]] = static_cast<Value>(i);
+  }
+}
+
+Value Dictionary::Encode(const std::string& s) {
+  auto it = codes_.find(s);
+  if (it != codes_.end()) return it->second;
+  const Value code = static_cast<Value>(strings_.size());
+  strings_.push_back(s);
+  codes_[s] = code;
+  return code;
+}
+
+Value Dictionary::CodeOf(const std::string& s) const {
+  auto it = codes_.find(s);
+  if (it == codes_.end()) {
+    std::fprintf(stderr, "crackdb: unknown dictionary string '%s'\n",
+                 s.c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+}  // namespace crackdb

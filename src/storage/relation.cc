@@ -1,0 +1,74 @@
+#include "storage/relation.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace crackdb {
+
+namespace {
+[[noreturn]] void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "crackdb: %s: %s\n", what, detail.c_str());
+  std::abort();
+}
+}  // namespace
+
+Column& Relation::AddColumn(const std::string& column_name) {
+  if (num_rows_ != 0) Die("AddColumn after rows were inserted", column_name);
+  if (ordinals_.count(column_name) != 0) Die("duplicate column", column_name);
+  ordinals_[column_name] = columns_.size();
+  names_.push_back(column_name);
+  columns_.push_back(std::make_unique<Column>(column_name));
+  return *columns_.back();
+}
+
+Column& Relation::column(const std::string& column_name) {
+  auto it = ordinals_.find(column_name);
+  if (it == ordinals_.end()) Die("unknown column", name_ + "." + column_name);
+  return *columns_[it->second];
+}
+
+const Column& Relation::column(const std::string& column_name) const {
+  auto it = ordinals_.find(column_name);
+  if (it == ordinals_.end()) Die("unknown column", name_ + "." + column_name);
+  return *columns_[it->second];
+}
+
+bool Relation::HasColumn(const std::string& column_name) const {
+  return ordinals_.count(column_name) != 0;
+}
+
+size_t Relation::ColumnOrdinal(const std::string& column_name) const {
+  auto it = ordinals_.find(column_name);
+  if (it == ordinals_.end()) Die("unknown column", name_ + "." + column_name);
+  return it->second;
+}
+
+Key Relation::AppendRow(std::span<const Value> values) {
+  const Key key = BulkLoadRow(values);
+  log_.push_back({UpdateEvent::Kind::kInsert, key});
+  return key;
+}
+
+Key Relation::BulkLoadRow(std::span<const Value> values) {
+  assert(values.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) columns_[i]->Append(values[i]);
+  const Key key = static_cast<Key>(num_rows_++);
+  deleted_.push_back(false);
+  return key;
+}
+
+void Relation::DeleteRow(Key key) {
+  assert(key < num_rows_);
+  if (deleted_[key]) return;
+  deleted_[key] = true;
+  ++num_deleted_;
+  log_.push_back({UpdateEvent::Kind::kDelete, key});
+}
+
+void Relation::TrimLog(size_t new_begin) {
+  assert(new_begin >= log_begin_ && new_begin <= log_.size());
+  log_begin_ = new_begin;
+}
+
+}  // namespace crackdb

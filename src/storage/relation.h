@@ -1,0 +1,108 @@
+#ifndef CRACKDB_STORAGE_RELATION_H_
+#define CRACKDB_STORAGE_RELATION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/column.h"
+
+namespace crackdb {
+
+/// One entry in a relation's update log. Updates (modifications) are
+/// decomposed into a deletion plus an insertion, as in the paper's update
+/// model (Section 3.5, following "Updating a Cracked Database").
+struct UpdateEvent {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  /// For kInsert: the key (position) assigned to the new tuple.
+  /// For kDelete: the key of the tombstoned tuple.
+  Key key = kInvalidKey;
+};
+
+/// A relation: a set of tuple-order-aligned base columns plus a tombstone
+/// bitmap and a monotone update log.
+///
+/// The update log is the bridge between the mutable base relation and the
+/// self-organizing auxiliary structures: every cracked structure remembers
+/// the log version it has incorporated (its watermark) and merges the
+/// suffix on demand via the Ripple machinery — updates are applied "only
+/// when a query needs the relevant data" (Section 3.5).
+class Relation {
+ public:
+  explicit Relation(std::string name) : name_(std::move(name)) {}
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a column. All columns must be added before the first AppendRow.
+  Column& AddColumn(const std::string& column_name);
+
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Number of rows ever inserted (including tombstoned ones); this is the
+  /// key domain size.
+  size_t num_rows() const { return num_rows_; }
+
+  /// Number of live (non-tombstoned) rows.
+  size_t num_live_rows() const { return num_rows_ - num_deleted_; }
+
+  Column& column(size_t ordinal) { return *columns_[ordinal]; }
+  const Column& column(size_t ordinal) const { return *columns_[ordinal]; }
+
+  Column& column(const std::string& column_name);
+  const Column& column(const std::string& column_name) const;
+  bool HasColumn(const std::string& column_name) const;
+
+  /// Ordinal of a named column; dies if absent.
+  size_t ColumnOrdinal(const std::string& column_name) const;
+
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  /// Appends one tuple (`values` ordered by column ordinal); returns its
+  /// key and logs an insert event.
+  Key AppendRow(std::span<const Value> values);
+
+  /// Appends one tuple without logging an update event. Only valid during
+  /// initial load, i.e., before any auxiliary structure has been created;
+  /// such structures are built from the loaded base columns and therefore
+  /// already contain these rows.
+  Key BulkLoadRow(std::span<const Value> values);
+
+  /// Tombstones a tuple and logs a delete event. Idempotent.
+  void DeleteRow(Key key);
+
+  bool IsDeleted(Key key) const { return deleted_[key]; }
+  const std::vector<bool>& deleted() const { return deleted_; }
+  size_t num_deleted() const { return num_deleted_; }
+
+  /// Update log access. `version` counts applied events; structures sync
+  /// from their watermark to `log_version()`.
+  size_t log_version() const { return log_.size(); }
+  const UpdateEvent& log_entry(size_t i) const { return log_[i]; }
+
+  /// Drops the prefix of the log nobody will replay again. (Not used by the
+  /// experiments — provided for long-running deployments.)
+  void TrimLog(size_t new_begin);
+  size_t log_begin() const { return log_begin_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::unordered_map<std::string, size_t> ordinals_;
+  std::vector<bool> deleted_;
+  size_t num_rows_ = 0;
+  size_t num_deleted_ = 0;
+  std::vector<UpdateEvent> log_;
+  size_t log_begin_ = 0;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_STORAGE_RELATION_H_

@@ -1,0 +1,95 @@
+#include "storage/row_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+namespace crackdb {
+
+RowStore::RowStore(std::vector<std::string> column_names)
+    : names_(std::move(column_names)) {
+  for (size_t i = 0; i < names_.size(); ++i) ordinals_[names_[i]] = i;
+}
+
+size_t RowStore::ColumnOrdinal(const std::string& name) const {
+  auto it = ordinals_.find(name);
+  if (it == ordinals_.end()) {
+    std::fprintf(stderr, "crackdb: unknown row-store column '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+void RowStore::AppendRow(std::span<const Value> values) {
+  assert(values.size() == names_.size());
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++num_rows_;
+  sorted_by_ = static_cast<size_t>(-1);
+}
+
+void RowStore::SortBy(size_t col) {
+  const size_t width = names_.size();
+  std::vector<uint32_t> perm(num_rows_);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return data_[a * width + col] < data_[b * width + col];
+  });
+  std::vector<Value> sorted;
+  sorted.reserve(data_.size());
+  for (uint32_t r : perm) {
+    const Value* row = data_.data() + static_cast<size_t>(r) * width;
+    sorted.insert(sorted.end(), row, row + width);
+  }
+  data_ = std::move(sorted);
+  sorted_by_ = col;
+}
+
+PositionRange RowStore::EqualRange(const RangePredicate& pred) const {
+  if (sorted_by_ == static_cast<size_t>(-1)) {
+    std::fprintf(stderr, "crackdb: EqualRange on unsorted row store\n");
+    std::abort();
+  }
+  const size_t width = names_.size();
+  const size_t col = sorted_by_;
+  auto value_at = [&](size_t row) { return data_[row * width + col]; };
+  // Lower bound: first row whose clustering value can satisfy the predicate.
+  size_t lo = 0, hi = num_rows_;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    const Value v = value_at(mid);
+    const bool below =
+        v < pred.low || (v == pred.low && !pred.low_inclusive);
+    if (below) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const size_t begin = lo;
+  hi = num_rows_;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    const Value v = value_at(mid);
+    const bool within =
+        v < pred.high || (v == pred.high && pred.high_inclusive);
+    if (within) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {begin, lo};
+}
+
+void RowStore::Scan(
+    const std::function<void(size_t, std::span<const Value>)>& fn) const {
+  const size_t width = names_.size();
+  for (size_t r = 0; r < num_rows_; ++r) {
+    fn(r, std::span<const Value>(data_.data() + r * width, width));
+  }
+}
+
+}  // namespace crackdb

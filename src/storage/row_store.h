@@ -1,0 +1,67 @@
+#ifndef CRACKDB_STORAGE_ROW_STORE_H_
+#define CRACKDB_STORAGE_ROW_STORE_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crackdb {
+
+/// An N-ary (NSM / row-store) table with tuple-at-a-time evaluation.
+///
+/// This is the stand-in for the paper's MySQL baseline in the TPC-H
+/// experiment (Figure 14): a row-store pays one sequential pass and
+/// evaluates all predicates of a tuple in place, so queries with many
+/// predicates over the same relation (e.g., TPC-H Q19's disjunctions) do
+/// not multiply reconstruction work the way a column-store does. Rows are
+/// stored row-major in a single flat vector (fixed width).
+class RowStore {
+ public:
+  explicit RowStore(std::vector<std::string> column_names);
+
+  size_t num_columns() const { return names_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  size_t ColumnOrdinal(const std::string& name) const;
+
+  void Reserve(size_t rows) { data_.reserve(rows * names_.size()); }
+  void AppendRow(std::span<const Value> values);
+
+  /// Value of column `col` in row `row`.
+  Value At(size_t row, size_t col) const {
+    return data_[row * names_.size() + col];
+  }
+
+  std::span<const Value> Row(size_t row) const {
+    return {data_.data() + row * names_.size(), names_.size()};
+  }
+
+  /// Physically re-clusters the table on `col` (ascending, stable). This is
+  /// the row-store analogue of the paper's "presorted" physical design.
+  void SortBy(size_t col);
+
+  /// Ordinal of the clustering column, or SIZE_MAX if unsorted.
+  size_t sorted_by() const { return sorted_by_; }
+
+  /// For a table clustered on `sorted_by()`: the contiguous row range whose
+  /// clustering values satisfy `pred` (binary search). Dies if unsorted.
+  PositionRange EqualRange(const RangePredicate& pred) const;
+
+  /// Full sequential scan invoking `fn(row_index, row)` for every row.
+  void Scan(const std::function<void(size_t, std::span<const Value>)>& fn) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> ordinals_;
+  std::vector<Value> data_;
+  size_t num_rows_ = 0;
+  size_t sorted_by_ = static_cast<size_t>(-1);
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_STORAGE_ROW_STORE_H_

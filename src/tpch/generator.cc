@@ -1,0 +1,188 @@
+#include "tpch/generator.h"
+
+#include <array>
+#include <vector>
+
+namespace crackdb::tpch {
+
+TpchDatabase::TpchDatabase(double sf, uint64_t seed) : sf_(sf) {
+  CreateSchema(&catalog_);
+  Generate(seed);
+}
+
+Value TpchDatabase::Code(const std::string& qualified_column,
+                         const std::string& str) const {
+  return const_cast<Catalog&>(catalog_).dictionary(qualified_column).CodeOf(
+      str);
+}
+
+void TpchDatabase::Generate(uint64_t seed) {
+  Rng rng(seed);
+  const Cardinalities n = CardinalitiesFor(sf_);
+
+  // region / nation -----------------------------------------------------
+  {
+    Relation& region = catalog_.relation("region");
+    for (size_t r = 0; r < kRegions.size(); ++r) {
+      const Value row[] = {static_cast<Value>(r),
+                           catalog_.dictionary("region.r_name")
+                               .CodeOf(kRegions[r])};
+      region.BulkLoadRow(row);
+    }
+    Relation& nation = catalog_.relation("nation");
+    for (size_t i = 0; i < kNations.size(); ++i) {
+      const Value row[] = {static_cast<Value>(i),
+                           catalog_.dictionary("nation.n_name")
+                               .CodeOf(kNations[i]),
+                           static_cast<Value>(kNationRegion[i])};
+      nation.BulkLoadRow(row);
+    }
+  }
+
+  // supplier -------------------------------------------------------------
+  {
+    Relation& supplier = catalog_.relation("supplier");
+    for (size_t i = 1; i <= n.supplier; ++i) {
+      const Value row[] = {
+          static_cast<Value>(i),                    // s_suppkey
+          static_cast<Value>(i),                    // s_name (Supplier#i)
+          rng.Uniform(0, 24),                       // s_nationkey
+          rng.Uniform(-99999, 999999),              // s_acctbal (cents)
+      };
+      supplier.BulkLoadRow(row);
+    }
+  }
+
+  // part -----------------------------------------------------------------
+  std::vector<Value> retail_price(n.part + 1, 0);
+  {
+    Relation& part = catalog_.relation("part");
+    const Dictionary& names = catalog_.dictionary("part.p_name");
+    for (size_t i = 1; i <= n.part; ++i) {
+      // dbgen retail price formula, in cents.
+      const Value price = 90000 + ((static_cast<Value>(i) / 10) % 20001) +
+                          100 * (static_cast<Value>(i) % 1000);
+      retail_price[i] = price;
+      const Value row[] = {
+          static_cast<Value>(i),                                 // p_partkey
+          rng.Uniform(0, static_cast<Value>(names.size()) - 1),  // p_name
+          rng.Uniform(0, 4),                                     // p_mfgr
+          rng.Uniform(0, 24),                                    // p_brand
+          rng.Uniform(0, 149),                                   // p_type
+          rng.Uniform(1, 50),                                    // p_size
+          rng.Uniform(0, 39),                                    // p_container
+          price,                                                 // p_retail
+      };
+      part.BulkLoadRow(row);
+    }
+  }
+
+  // partsupp ---------------------------------------------------------------
+  {
+    Relation& partsupp = catalog_.relation("partsupp");
+    for (size_t p = 1; p <= n.part; ++p) {
+      for (int s = 0; s < 4; ++s) {
+        // dbgen's supplier spreading for a (part, copy) pair.
+        const size_t suppkey =
+            (p + s * ((n.supplier / 4) + (p - 1) / n.supplier)) % n.supplier +
+            1;
+        const Value row[] = {
+            static_cast<Value>(p),
+            static_cast<Value>(suppkey),
+            rng.Uniform(1, 9999),        // ps_availqty
+            rng.Uniform(100, 100000),    // ps_supplycost (cents)
+        };
+        partsupp.BulkLoadRow(row);
+      }
+    }
+  }
+
+  // customer ---------------------------------------------------------------
+  {
+    Relation& customer = catalog_.relation("customer");
+    for (size_t i = 1; i <= n.customer; ++i) {
+      const Value row[] = {
+          static_cast<Value>(i),        // c_custkey
+          static_cast<Value>(i),        // c_name (Customer#i)
+          rng.Uniform(0, 24),           // c_nationkey
+          rng.Uniform(-99999, 999999),  // c_acctbal
+          rng.Uniform(0, 4),            // c_mktsegment
+      };
+      customer.BulkLoadRow(row);
+    }
+  }
+
+  // orders + lineitem --------------------------------------------------------
+  {
+    Relation& orders = catalog_.relation("orders");
+    Relation& lineitem = catalog_.relation("lineitem");
+    const Value returnflag_a = Code("lineitem.l_returnflag", "A");
+    const Value returnflag_n = Code("lineitem.l_returnflag", "N");
+    const Value returnflag_r = Code("lineitem.l_returnflag", "R");
+    const Value linestatus_f = Code("lineitem.l_linestatus", "F");
+    const Value linestatus_o = Code("lineitem.l_linestatus", "O");
+    const Value status_f = Code("orders.o_orderstatus", "F");
+    const Value status_o = Code("orders.o_orderstatus", "O");
+    const Value status_p = Code("orders.o_orderstatus", "P");
+
+    for (size_t i = 1; i <= n.orders; ++i) {
+      // dbgen leaves gaps in the orderkey space; keep keys dense * 4 to
+      // preserve the "sparse keys" flavour without the bookkeeping.
+      const Value orderkey = static_cast<Value>(i) * 4 - 3;
+      const Value custkey =
+          rng.Uniform(1, static_cast<Value>(n.customer));
+      const Value orderdate = rng.Uniform(kStartDate, kEndDate - 151);
+      const int num_lines = static_cast<int>(rng.Uniform(1, 7));
+      Value total = 0;
+      int f_count = 0;
+      for (int l = 1; l <= num_lines; ++l) {
+        const Value partkey = rng.Uniform(1, static_cast<Value>(n.part));
+        const Value suppkey = rng.Uniform(1, static_cast<Value>(n.supplier));
+        const Value quantity = rng.Uniform(1, 50);
+        const Value extended = quantity * retail_price[partkey];
+        const Value discount = rng.Uniform(0, 10);  // hundredths
+        const Value tax = rng.Uniform(0, 8);
+        const Value shipdate = orderdate + rng.Uniform(1, 121);
+        const Value commitdate = orderdate + rng.Uniform(30, 90);
+        const Value receiptdate = shipdate + rng.Uniform(1, 30);
+        Value returnflag;
+        if (receiptdate <= kCurrentDate) {
+          returnflag = rng.Bernoulli(0.5) ? returnflag_r : returnflag_a;
+        } else {
+          returnflag = returnflag_n;
+        }
+        const Value linestatus =
+            shipdate > kCurrentDate ? linestatus_o : linestatus_f;
+        if (linestatus == linestatus_f) ++f_count;
+        total += extended * (100 - discount) * (100 + tax) / 10000;
+        const Value line[] = {
+            orderkey,   partkey,    suppkey,    static_cast<Value>(l),
+            quantity,   extended,   discount,   tax,
+            returnflag, linestatus, shipdate,   commitdate,
+            receiptdate,
+            rng.Uniform(0, 3),  // l_shipinstruct
+            rng.Uniform(0, 6),  // l_shipmode
+        };
+        lineitem.BulkLoadRow(line);
+      }
+      Value status = status_p;
+      if (f_count == num_lines) {
+        status = status_f;
+      } else if (f_count == 0) {
+        status = status_o;
+      }
+      const Value order_row[] = {
+          orderkey,
+          custkey,
+          status,
+          total,
+          orderdate,
+          rng.Uniform(0, 4),  // o_orderpriority
+          0,                  // o_shippriority
+      };
+      orders.BulkLoadRow(order_row);
+    }
+  }
+}
+
+}  // namespace crackdb::tpch

@@ -1,0 +1,41 @@
+#ifndef CRACKDB_TPCH_GENERATOR_H_
+#define CRACKDB_TPCH_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "storage/catalog.h"
+#include "tpch/schema.h"
+
+namespace crackdb::tpch {
+
+/// A generated TPC-H database instance plus encoding helpers the query
+/// plans use.
+class TpchDatabase {
+ public:
+  /// Generates all eight relations at scale factor `sf` (dbgen-style
+  /// value distributions, deterministic under `seed`).
+  explicit TpchDatabase(double sf, uint64_t seed = 19920101);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  double scale_factor() const { return sf_; }
+
+  Relation& relation(const std::string& name) {
+    return catalog_.relation(name);
+  }
+
+  /// Dictionary code of `str` in `relation.column` (dies if absent).
+  Value Code(const std::string& qualified_column,
+             const std::string& str) const;
+
+ private:
+  void Generate(uint64_t seed);
+
+  double sf_;
+  Catalog catalog_;
+};
+
+}  // namespace crackdb::tpch
+
+#endif  // CRACKDB_TPCH_GENERATOR_H_

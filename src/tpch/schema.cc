@@ -1,0 +1,220 @@
+#include "tpch/schema.h"
+
+namespace crackdb::tpch {
+
+Value DateToDays(int year, int month, int day) {
+  // Howard Hinnant's days_from_civil.
+  const int y = year - (month <= 2 ? 1 : 0);
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<Value>(era) * 146097 + static_cast<Value>(doe) - 719468;
+}
+
+void DaysToDate(Value days, int* year, int* month, int* day) {
+  Value z = days + 719468;
+  const Value era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const Value y = static_cast<Value>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *year = static_cast<int>(y + (*month <= 2 ? 1 : 0));
+}
+
+const std::vector<std::string> kRegions = {"AFRICA", "AMERICA", "ASIA",
+                                           "EUROPE", "MIDDLE EAST"};
+
+const std::vector<std::string> kNations = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",         "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",          "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",         "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",          "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+const std::vector<int> kNationRegion = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                        4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const std::vector<std::string> kSegments = {"AUTOMOBILE", "BUILDING",
+                                            "FURNITURE", "MACHINERY",
+                                            "HOUSEHOLD"};
+
+const std::vector<std::string> kPriorities = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                              "4-NOT SPECIFIED", "5-LOW"};
+
+const std::vector<std::string> kShipModes = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                             "TRUCK",   "MAIL", "FOB"};
+
+const std::vector<std::string> kShipInstructs = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+
+const std::vector<std::string> kTypeSyllable1 = {"STANDARD", "SMALL", "MEDIUM",
+                                                 "LARGE", "ECONOMY", "PROMO"};
+const std::vector<std::string> kTypeSyllable2 = {"ANODIZED", "BURNISHED",
+                                                 "PLATED", "POLISHED",
+                                                 "BRUSHED"};
+const std::vector<std::string> kTypeSyllable3 = {"TIN", "NICKEL", "BRASS",
+                                                 "STEEL", "COPPER"};
+
+const std::vector<std::string> kContainerSyllable1 = {"SM", "LG", "MED",
+                                                      "JUMBO", "WRAP"};
+const std::vector<std::string> kContainerSyllable2 = {"CASE", "BOX", "BAG",
+                                                      "JAR",  "PKG", "PACK",
+                                                      "CAN",  "DRUM"};
+
+const std::vector<std::string> kNameWords = {
+    "almond",    "antique",   "aquamarine", "azure",     "beige",
+    "bisque",    "black",     "blanched",   "blue",      "blush",
+    "brown",     "burlywood", "burnished",  "chartreuse", "chiffon",
+    "chocolate", "coral",     "cornflower", "cornsilk",  "cream",
+    "cyan",      "dark",      "deep",       "dim",       "dodger",
+    "drab",      "firebrick", "floral",     "forest",    "frosted",
+    "gainsboro", "ghost",     "goldenrod",  "green",     "grey",
+    "honeydew",  "hot",       "hotpink",    "indian",    "ivory",
+    "khaki",     "lace",      "lavender",   "lawn",      "lemon",
+    "light",     "lime",      "linen",      "magenta",   "maroon",
+    "medium",    "metallic",  "midnight",   "mint",      "misty",
+    "moccasin",  "navajo",    "navy",       "olive",     "orange",
+    "orchid",    "pale",      "papaya",     "peach",     "peru",
+    "pink",      "plum",      "powder",     "puff",      "purple",
+    "red",       "rose",      "rosy",       "royal",     "saddle",
+    "salmon",    "sandy",     "seashell",   "sienna",    "sky",
+    "slate",     "smoke",     "snow",       "spring",    "steel",
+    "tan",       "thistle",   "tomato",     "turquoise", "violet",
+    "wheat",     "white",     "yellow"};
+
+Cardinalities CardinalitiesFor(double sf) {
+  Cardinalities c;
+  c.supplier = static_cast<size_t>(10000 * sf);
+  c.part = static_cast<size_t>(200000 * sf);
+  c.partsupp = c.part * 4;
+  c.customer = static_cast<size_t>(150000 * sf);
+  c.orders = static_cast<size_t>(1500000 * sf);
+  if (c.supplier == 0) c.supplier = 1;
+  if (c.part == 0) c.part = 1;
+  if (c.customer == 0) c.customer = 1;
+  if (c.orders == 0) c.orders = 1;
+  return c;
+}
+
+namespace {
+
+void RegisterDict(Catalog* catalog, const std::string& qualified,
+                  std::vector<std::string> domain) {
+  catalog->dictionary(qualified).RegisterSorted(std::move(domain));
+}
+
+std::vector<std::string> CrossJoinStrings(
+    const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  out.reserve(a.size() * b.size());
+  for (const std::string& x : a) {
+    for (const std::string& y : b) out.push_back(x + " " + y);
+  }
+  return out;
+}
+
+}  // namespace
+
+void CreateSchema(Catalog* catalog) {
+  Relation& region = catalog->CreateRelation("region");
+  region.AddColumn("r_regionkey");
+  region.AddColumn("r_name");
+
+  Relation& nation = catalog->CreateRelation("nation");
+  nation.AddColumn("n_nationkey");
+  nation.AddColumn("n_name");
+  nation.AddColumn("n_regionkey");
+
+  Relation& supplier = catalog->CreateRelation("supplier");
+  supplier.AddColumn("s_suppkey");
+  supplier.AddColumn("s_name");
+  supplier.AddColumn("s_nationkey");
+  supplier.AddColumn("s_acctbal");
+
+  Relation& part = catalog->CreateRelation("part");
+  part.AddColumn("p_partkey");
+  part.AddColumn("p_name");  // code of the first name word (LIKE 'w%' target)
+  part.AddColumn("p_mfgr");
+  part.AddColumn("p_brand");
+  part.AddColumn("p_type");
+  part.AddColumn("p_size");
+  part.AddColumn("p_container");
+  part.AddColumn("p_retailprice");
+
+  Relation& partsupp = catalog->CreateRelation("partsupp");
+  partsupp.AddColumn("ps_partkey");
+  partsupp.AddColumn("ps_suppkey");
+  partsupp.AddColumn("ps_availqty");
+  partsupp.AddColumn("ps_supplycost");
+
+  Relation& customer = catalog->CreateRelation("customer");
+  customer.AddColumn("c_custkey");
+  customer.AddColumn("c_name");
+  customer.AddColumn("c_nationkey");
+  customer.AddColumn("c_acctbal");
+  customer.AddColumn("c_mktsegment");
+
+  Relation& orders = catalog->CreateRelation("orders");
+  orders.AddColumn("o_orderkey");
+  orders.AddColumn("o_custkey");
+  orders.AddColumn("o_orderstatus");
+  orders.AddColumn("o_totalprice");
+  orders.AddColumn("o_orderdate");
+  orders.AddColumn("o_orderpriority");
+  orders.AddColumn("o_shippriority");
+
+  Relation& lineitem = catalog->CreateRelation("lineitem");
+  lineitem.AddColumn("l_orderkey");
+  lineitem.AddColumn("l_partkey");
+  lineitem.AddColumn("l_suppkey");
+  lineitem.AddColumn("l_linenumber");
+  lineitem.AddColumn("l_quantity");
+  lineitem.AddColumn("l_extendedprice");
+  lineitem.AddColumn("l_discount");
+  lineitem.AddColumn("l_tax");
+  lineitem.AddColumn("l_returnflag");
+  lineitem.AddColumn("l_linestatus");
+  lineitem.AddColumn("l_shipdate");
+  lineitem.AddColumn("l_commitdate");
+  lineitem.AddColumn("l_receiptdate");
+  lineitem.AddColumn("l_shipinstruct");
+  lineitem.AddColumn("l_shipmode");
+
+  RegisterDict(catalog, "region.r_name", kRegions);
+  RegisterDict(catalog, "nation.n_name", kNations);
+  RegisterDict(catalog, "customer.c_mktsegment", kSegments);
+  RegisterDict(catalog, "orders.o_orderpriority", kPriorities);
+  RegisterDict(catalog, "lineitem.l_shipmode", kShipModes);
+  RegisterDict(catalog, "lineitem.l_shipinstruct", kShipInstructs);
+  RegisterDict(catalog, "lineitem.l_returnflag", {"A", "N", "R"});
+  RegisterDict(catalog, "lineitem.l_linestatus", {"F", "O"});
+  RegisterDict(catalog, "orders.o_orderstatus", {"F", "O", "P"});
+  RegisterDict(catalog, "part.p_name", kNameWords);
+  {
+    std::vector<std::string> brands;
+    for (int m = 1; m <= 5; ++m) {
+      for (int n = 1; n <= 5; ++n) {
+        brands.push_back("Brand#" + std::to_string(m) + std::to_string(n));
+      }
+    }
+    RegisterDict(catalog, "part.p_brand", brands);
+    std::vector<std::string> mfgrs;
+    for (int m = 1; m <= 5; ++m) mfgrs.push_back("Manufacturer#" +
+                                                 std::to_string(m));
+    RegisterDict(catalog, "part.p_mfgr", mfgrs);
+  }
+  RegisterDict(catalog, "part.p_type",
+               CrossJoinStrings(CrossJoinStrings(kTypeSyllable1,
+                                                 kTypeSyllable2),
+                                kTypeSyllable3));
+  RegisterDict(catalog, "part.p_container",
+               CrossJoinStrings(kContainerSyllable1, kContainerSyllable2));
+}
+
+}  // namespace crackdb::tpch

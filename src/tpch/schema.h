@@ -1,0 +1,62 @@
+#ifndef CRACKDB_TPCH_SCHEMA_H_
+#define CRACKDB_TPCH_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/catalog.h"
+
+namespace crackdb::tpch {
+
+/// All values are int64 Values: dates as days since 1970-01-01, monetary
+/// amounts in cents (fixed point, two decimals), percentages (discount,
+/// tax) in hundredths, and strings as dictionary codes. This mirrors how a
+/// column-store would physically encode TPC-H and keeps every attribute
+/// crackable.
+
+/// Days since 1970-01-01 for a proleptic Gregorian civil date.
+Value DateToDays(int year, int month, int day);
+
+/// Inverse of DateToDays.
+void DaysToDate(Value days, int* year, int* month, int* day);
+
+/// TPC-H reference dates.
+inline const Value kStartDate = DateToDays(1992, 1, 1);
+inline const Value kCurrentDate = DateToDays(1995, 6, 17);
+inline const Value kEndDate = DateToDays(1998, 12, 31);
+
+/// Standard TPC-H enumerations (dbgen's distributions).
+extern const std::vector<std::string> kRegions;
+extern const std::vector<std::string> kNations;
+/// region ordinal for each nation (aligned with kNations).
+extern const std::vector<int> kNationRegion;
+extern const std::vector<std::string> kSegments;
+extern const std::vector<std::string> kPriorities;
+extern const std::vector<std::string> kShipModes;
+extern const std::vector<std::string> kShipInstructs;
+extern const std::vector<std::string> kTypeSyllable1;
+extern const std::vector<std::string> kTypeSyllable2;
+extern const std::vector<std::string> kTypeSyllable3;
+extern const std::vector<std::string> kContainerSyllable1;
+extern const std::vector<std::string> kContainerSyllable2;
+extern const std::vector<std::string> kNameWords;  // p_name word pool
+
+/// Creates the eight TPC-H relations (empty) in `catalog` and registers
+/// the sorted string dictionaries for every enumerated attribute.
+void CreateSchema(Catalog* catalog);
+
+/// Row counts at scale factor `sf` (dbgen's scaling rules; lineitem is
+/// approximate, orders average ~4 lineitems each).
+struct Cardinalities {
+  size_t supplier;
+  size_t part;
+  size_t partsupp;
+  size_t customer;
+  size_t orders;
+};
+Cardinalities CardinalitiesFor(double sf);
+
+}  // namespace crackdb::tpch
+
+#endif  // CRACKDB_TPCH_SCHEMA_H_

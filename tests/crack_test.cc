@@ -1,0 +1,219 @@
+#include "cracking/crack.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace crackdb {
+namespace {
+
+CrackPairs MakeStore(const std::vector<Value>& heads) {
+  CrackPairs store;
+  for (size_t i = 0; i < heads.size(); ++i) {
+    store.PushBack(heads[i], static_cast<Value>(1000 + i));
+  }
+  return store;
+}
+
+CrackPairs RandomStore(Rng* rng, size_t n, Value domain) {
+  CrackPairs store;
+  store.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    store.PushBack(rng->Uniform(1, domain), static_cast<Value>(i));
+  }
+  return store;
+}
+
+std::multiset<std::pair<Value, Value>> Contents(const CrackPairs& s) {
+  std::multiset<std::pair<Value, Value>> out;
+  for (size_t i = 0; i < s.size(); ++i) out.insert({s.head[i], s.tail[i]});
+  return out;
+}
+
+TEST(CrackInTwoTest, PartitionsAroundBound) {
+  CrackPairs store = MakeStore({5, 1, 9, 3, 7, 2, 8});
+  const size_t split = CrackInTwo(store, 0, store.size(), Bound{5, true});
+  EXPECT_EQ(split, 3u);  // 1, 3, 2 below
+  for (size_t i = 0; i < split; ++i) EXPECT_LT(store.head[i], 5);
+  for (size_t i = split; i < store.size(); ++i) EXPECT_GE(store.head[i], 5);
+}
+
+TEST(CrackInTwoTest, ExclusiveBoundKeepsEqualValuesLow) {
+  CrackPairs store = MakeStore({5, 5, 6, 4, 5});
+  const size_t split = CrackInTwo(store, 0, store.size(), Bound{5, false});
+  EXPECT_EQ(split, 4u);  // all the 5s and the 4 stay below
+  for (size_t i = 0; i < split; ++i) EXPECT_LE(store.head[i], 5);
+  for (size_t i = split; i < store.size(); ++i) EXPECT_GT(store.head[i], 5);
+}
+
+TEST(CrackInTwoTest, EmptyAndSingleRanges) {
+  CrackPairs store = MakeStore({3});
+  EXPECT_EQ(CrackInTwo(store, 0, 0, Bound{5, true}), 0u);
+  EXPECT_EQ(CrackInTwo(store, 0, 1, Bound{5, true}), 1u);  // 3 < 5
+  EXPECT_EQ(CrackInTwo(store, 0, 1, Bound{2, true}), 0u);  // 3 >= 2
+}
+
+TEST(CrackInTwoTest, PayloadTravelsWithHead) {
+  CrackPairs store = MakeStore({9, 1});
+  CrackInTwo(store, 0, 2, Bound{5, true});
+  EXPECT_EQ(store.head[0], 1);
+  EXPECT_EQ(store.tail[0], 1001);
+  EXPECT_EQ(store.head[1], 9);
+  EXPECT_EQ(store.tail[1], 1000);
+}
+
+TEST(CrackInThreeTest, ThreeWayPartition) {
+  CrackPairs store = MakeStore({5, 1, 9, 3, 7, 2, 8, 5});
+  auto [mid, hi] =
+      CrackInThree(store, 0, store.size(), Bound{3, true}, Bound{7, false});
+  for (size_t i = 0; i < mid; ++i) EXPECT_LT(store.head[i], 3);
+  for (size_t i = mid; i < hi; ++i) {
+    EXPECT_GE(store.head[i], 3);
+    EXPECT_LE(store.head[i], 7);
+  }
+  for (size_t i = hi; i < store.size(); ++i) EXPECT_GT(store.head[i], 7);
+}
+
+TEST(CrackOnPredicateTest, AreaContainsExactlyMatches) {
+  Rng rng(7);
+  CrackPairs store = RandomStore(&rng, 500, 100);
+  CrackerIndex index;
+  const RangePredicate pred = RangePredicate::Open(20, 60);
+  const size_t expected = static_cast<size_t>(
+      std::count_if(store.head.begin(), store.head.end(),
+                    [&](Value v) { return pred.Matches(v); }));
+  const CrackResult r = CrackOnPredicate(store, index, pred);
+  EXPECT_TRUE(r.reorganized);
+  EXPECT_EQ(r.area.size(), expected);
+  for (size_t i = r.area.begin; i < r.area.end; ++i) {
+    EXPECT_TRUE(pred.Matches(store.head[i]));
+  }
+  EXPECT_TRUE(CheckCrackInvariant(store, index));
+}
+
+TEST(CrackOnPredicateTest, SecondIdenticalQueryDoesNotReorganize) {
+  Rng rng(8);
+  CrackPairs store = RandomStore(&rng, 500, 100);
+  CrackerIndex index;
+  const RangePredicate pred = RangePredicate::Closed(10, 30);
+  EXPECT_TRUE(CrackOnPredicate(store, index, pred).reorganized);
+  const CrackResult again = CrackOnPredicate(store, index, pred);
+  EXPECT_FALSE(again.reorganized);
+}
+
+TEST(CrackOnPredicateTest, FullDomainPredicate) {
+  Rng rng(9);
+  CrackPairs store = RandomStore(&rng, 100, 50);
+  CrackerIndex index;
+  const CrackResult r = CrackOnPredicate(store, index, RangePredicate{});
+  EXPECT_FALSE(r.reorganized);
+  EXPECT_EQ(r.area.begin, 0u);
+  EXPECT_EQ(r.area.end, 100u);
+}
+
+TEST(CrackOnPredicateTest, DegenerateEmptyPredicate) {
+  Rng rng(10);
+  CrackPairs store = RandomStore(&rng, 100, 50);
+  CrackerIndex index;
+  // Open interval (25, 25) is empty but must still behave
+  // deterministically.
+  const CrackResult r = CrackOnPredicate(store, index, RangePredicate::Open(25, 25));
+  EXPECT_EQ(r.area.size(), 0u);
+  EXPECT_TRUE(CheckCrackInvariant(store, index));
+}
+
+TEST(CrackOnPredicateTest, PointQuery) {
+  Rng rng(11);
+  CrackPairs store = RandomStore(&rng, 1000, 50);
+  CrackerIndex index;
+  const RangePredicate pred = RangePredicate::Point(25);
+  const size_t expected = static_cast<size_t>(
+      std::count(store.head.begin(), store.head.end(), 25));
+  const CrackResult r = CrackOnPredicate(store, index, pred);
+  EXPECT_EQ(r.area.size(), expected);
+  for (size_t i = r.area.begin; i < r.area.end; ++i) {
+    EXPECT_EQ(store.head[i], 25);
+  }
+}
+
+TEST(SortPieceTest, SortsOnePieceOnly) {
+  CrackPairs store = MakeStore({9, 1, 5, 3, 7, 2, 8, 4});
+  CrackerIndex index;
+  CrackOnPredicate(store, index, RangePredicate::Closed(4, 6));
+  const auto piece_before = index.FindPiece(Bound{4, true}, store.size());
+  SortPiece(store, index, Bound{4, true});
+  // Sorted within; invariant still holds.
+  for (size_t i = piece_before.begin + 1; i < piece_before.end; ++i) {
+    EXPECT_LE(store.head[i - 1], store.head[i]);
+  }
+  EXPECT_TRUE(CheckCrackInvariant(store, index));
+}
+
+/// Property sweep: random query sequences preserve content, the crack
+/// invariant, and exact areas; two stores with identical initial content
+/// and history end byte-identical (the alignment determinism guarantee).
+struct CrackSweepParam {
+  uint64_t seed;
+  size_t rows;
+  Value domain;
+  double selectivity;
+};
+
+class CrackPropertyTest : public ::testing::TestWithParam<CrackSweepParam> {};
+
+TEST_P(CrackPropertyTest, InvariantContentAreaAndDeterminism) {
+  const CrackSweepParam p = GetParam();
+  Rng rng(p.seed);
+  CrackPairs store = RandomStore(&rng, p.rows, p.domain);
+  CrackPairs twin;
+  twin.head = store.head;
+  twin.tail = store.tail;
+  const auto original = Contents(store);
+  CrackerIndex index;
+  CrackerIndex twin_index;
+
+  std::vector<Value> sorted_heads = store.head;
+  std::sort(sorted_heads.begin(), sorted_heads.end());
+
+  for (int q = 0; q < 60; ++q) {
+    const Value width = std::max<Value>(
+        1, static_cast<Value>(p.selectivity * static_cast<double>(p.domain)));
+    const Value lo = rng.Uniform(1, p.domain - width + 1);
+    const RangePredicate pred = RangePredicate::HalfOpen(lo, lo + width);
+
+    const CrackResult r = CrackOnPredicate(store, index, pred);
+    const CrackResult rt = CrackOnPredicate(twin, twin_index, pred);
+
+    // Exact area: matches ground truth count from sorted data.
+    const auto first = std::lower_bound(sorted_heads.begin(),
+                                        sorted_heads.end(), lo);
+    const auto last = std::lower_bound(sorted_heads.begin(),
+                                       sorted_heads.end(), lo + width);
+    ASSERT_EQ(r.area.size(), static_cast<size_t>(last - first))
+        << "query " << q;
+    for (size_t i = r.area.begin; i < r.area.end; ++i) {
+      ASSERT_TRUE(pred.Matches(store.head[i]));
+    }
+    ASSERT_TRUE(CheckCrackInvariant(store, index));
+
+    // Determinism: identical history => identical layout.
+    ASSERT_EQ(r.area.begin, rt.area.begin);
+    ASSERT_EQ(store.head, twin.head) << "divergence at query " << q;
+    ASSERT_EQ(store.tail, twin.tail);
+  }
+  EXPECT_EQ(Contents(store), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrackPropertyTest,
+    ::testing::Values(CrackSweepParam{1, 2000, 10000, 0.01},
+                      CrackSweepParam{2, 2000, 10000, 0.2},
+                      CrackSweepParam{3, 2000, 10000, 0.9},
+                      CrackSweepParam{4, 2000, 50, 0.2},    // heavy duplicates
+                      CrackSweepParam{5, 17, 10, 0.5},      // tiny store
+                      CrackSweepParam{6, 5000, 1000000, 0.05}));
+
+}  // namespace
+}  // namespace crackdb

@@ -1,0 +1,176 @@
+#include "cracking/cracker_column.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "storage/catalog.h"
+
+namespace crackdb {
+namespace {
+
+Relation& BuildRelation(Catalog* catalog, size_t rows, Value domain,
+                        uint64_t seed) {
+  Relation& rel = catalog->CreateRelation("R");
+  rel.AddColumn("A");
+  rel.AddColumn("B");
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    const Value row[] = {rng.Uniform(1, domain), rng.Uniform(1, domain)};
+    rel.BulkLoadRow(row);
+  }
+  return rel;
+}
+
+std::set<Key> ScanKeys(const Relation& rel, const RangePredicate& pred) {
+  std::set<Key> keys;
+  const Column& a = rel.column("A");
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!rel.IsDeleted(static_cast<Key>(i)) && pred.Matches(a[i])) {
+      keys.insert(static_cast<Key>(i));
+    }
+  }
+  return keys;
+}
+
+TEST(CrackerColumnTest, SelectMatchesScanAcrossSequence) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 5000, 10000, 17);
+  CrackerColumn cracker(rel, "A");
+  Rng rng(18);
+  for (int q = 0; q < 50; ++q) {
+    const Value lo = rng.Uniform(1, 9000);
+    const RangePredicate pred = RangePredicate::Closed(lo, lo + 1000);
+    const std::span<const Value> keys = cracker.SelectKeys(pred);
+    std::set<Key> got;
+    for (Value k : keys) got.insert(static_cast<Key>(k));
+    EXPECT_EQ(got, ScanKeys(rel, pred)) << "query " << q;
+    EXPECT_TRUE(CheckCrackInvariant(cracker.pairs(), cracker.index()));
+  }
+}
+
+TEST(CrackerColumnTest, IndexGrowsWithQueries) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 1000, 10000, 19);
+  CrackerColumn cracker(rel, "A");
+  EXPECT_TRUE(cracker.index().empty());
+  cracker.Select(RangePredicate::Closed(100, 200));
+  const size_t after_one = cracker.index().num_splits();
+  EXPECT_GE(after_one, 1u);
+  cracker.Select(RangePredicate::Closed(5000, 6000));
+  EXPECT_GT(cracker.index().num_splits(), after_one);
+}
+
+TEST(CrackerColumnTest, ExcludesRowsDeletedBeforeCreation) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 100, 50, 20);
+  rel.DeleteRow(3);
+  rel.DeleteRow(7);
+  CrackerColumn cracker(rel, "A");
+  EXPECT_EQ(cracker.size(), 98u);
+  const std::span<const Value> keys = cracker.SelectKeys(RangePredicate{});
+  for (Value k : keys) {
+    EXPECT_NE(k, 3);
+    EXPECT_NE(k, 7);
+  }
+}
+
+TEST(CrackerColumnTest, MergesPendingInsertMatchingQuery) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 100, 50, 21);
+  CrackerColumn cracker(rel, "A");
+  cracker.Select(RangePredicate::Closed(10, 20));
+  const Value row[] = {15, 99};
+  const Key k = rel.AppendRow(row);
+  const std::span<const Value> keys =
+      cracker.SelectKeys(RangePredicate::Closed(10, 20));
+  EXPECT_NE(std::find(keys.begin(), keys.end(), static_cast<Value>(k)),
+            keys.end());
+  EXPECT_TRUE(CheckCrackInvariant(cracker.pairs(), cracker.index()));
+}
+
+TEST(CrackerColumnTest, NonMatchingUpdatesStayPending) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 100, 50, 22);
+  CrackerColumn cracker(rel, "A");
+  const Value row[] = {45, 99};
+  rel.AppendRow(row);
+  cracker.Select(RangePredicate::Closed(1, 10));  // does not cover 45
+  EXPECT_EQ(cracker.pending_count(), 1u);
+  cracker.Select(RangePredicate::Closed(40, 50));  // covers it
+  EXPECT_EQ(cracker.pending_count(), 0u);
+}
+
+TEST(CrackerColumnTest, MergesPendingDelete) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 200, 50, 23);
+  CrackerColumn cracker(rel, "A");
+  cracker.Select(RangePredicate::Closed(10, 30));
+  // Delete a row whose value is inside a later query's range.
+  const Column& a = rel.column("A");
+  Key victim = kInvalidKey;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] >= 10 && a[i] <= 30) {
+      victim = static_cast<Key>(i);
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidKey);
+  rel.DeleteRow(victim);
+  const RangePredicate pred = RangePredicate::Closed(10, 30);
+  const std::span<const Value> keys = cracker.SelectKeys(pred);
+  EXPECT_EQ(std::find(keys.begin(), keys.end(), static_cast<Value>(victim)),
+            keys.end());
+  std::set<Key> got;
+  for (Value k : keys) got.insert(static_cast<Key>(k));
+  EXPECT_EQ(got, ScanKeys(rel, pred));
+}
+
+TEST(CrackerColumnTest, InsertThenDeleteSameRowWhilePending) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 100, 50, 24);
+  CrackerColumn cracker(rel, "A");
+  cracker.Select(RangePredicate::Closed(1, 50));
+  const Value row[] = {25, 99};
+  const Key k = rel.AppendRow(row);
+  rel.DeleteRow(k);
+  const std::span<const Value> keys =
+      cracker.SelectKeys(RangePredicate::Closed(20, 30));
+  EXPECT_EQ(std::find(keys.begin(), keys.end(), static_cast<Value>(k)),
+            keys.end());
+}
+
+class CrackerColumnUpdateSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrackerColumnUpdateSweep, RandomQueriesAndUpdatesMatchScan) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 2000, 5000, GetParam());
+  CrackerColumn cracker(rel, "A");
+  Rng rng(GetParam() * 31 + 7);
+  for (int step = 0; step < 120; ++step) {
+    if (rng.Bernoulli(0.3)) {
+      if (rng.Bernoulli(0.5)) {
+        const Value row[] = {rng.Uniform(1, 5000), rng.Uniform(1, 5000)};
+        rel.AppendRow(row);
+      } else {
+        const Key k = static_cast<Key>(
+            rng.Uniform(0, static_cast<Value>(rel.num_rows()) - 1));
+        rel.DeleteRow(k);
+      }
+    }
+    const Value lo = rng.Uniform(1, 4500);
+    const RangePredicate pred = RangePredicate::Closed(lo, lo + 500);
+    std::set<Key> got;
+    for (Value k : cracker.SelectKeys(pred)) got.insert(static_cast<Key>(k));
+    ASSERT_EQ(got, ScanKeys(rel, pred)) << "step " << step;
+    ASSERT_TRUE(CheckCrackInvariant(cracker.pairs(), cracker.index()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrackerColumnUpdateSweep,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace crackdb

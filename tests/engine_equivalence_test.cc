@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "bench_util/workload.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "engine/partial_engine.h"
+#include "engine/plain_engine.h"
+#include "engine/presorted_engine.h"
+#include "engine/row_engine.h"
+#include "engine/selection_cracking_engine.h"
+#include "engine/sideways_engine.h"
+#include "storage/catalog.h"
+
+namespace crackdb {
+namespace {
+
+using bench::AttrName;
+using bench::CreateUniformRelation;
+
+std::multiset<std::vector<Value>> ZipRows(const QueryResult& r) {
+  std::multiset<std::vector<Value>> out;
+  for (size_t i = 0; i < r.num_rows; ++i) {
+    std::vector<Value> row;
+    for (const auto& col : r.columns) row.push_back(col[i]);
+    out.insert(row);
+  }
+  return out;
+}
+
+/// Every engine must produce the same multiset of result tuples as the
+/// plain scan engine — the paper's core correctness claim across physical
+/// designs (invariant 3 of DESIGN.md).
+struct EquivParam {
+  const char* engine;
+  bool disjunctive;
+  double selectivity;
+};
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<EquivParam> {
+ protected:
+  static std::unique_ptr<Engine> MakeEngine(const std::string& name,
+                                            const Relation& rel) {
+    if (name == "plain") return std::make_unique<PlainEngine>(rel);
+    if (name == "presorted") return std::make_unique<PresortedEngine>(rel);
+    if (name == "selection-cracking") {
+      return std::make_unique<SelectionCrackingEngine>(rel);
+    }
+    if (name == "sideways") return std::make_unique<SidewaysEngine>(rel);
+    if (name == "partial") return std::make_unique<PartialSidewaysEngine>(rel);
+    if (name == "row") return std::make_unique<RowEngine>(rel, false);
+    if (name == "row-presorted") return std::make_unique<RowEngine>(rel, true);
+    ADD_FAILURE() << "unknown engine " << name;
+    return nullptr;
+  }
+};
+
+TEST_P(EngineEquivalenceTest, MatchesPlainOnRandomWorkload) {
+  const EquivParam p = GetParam();
+  Catalog catalog;
+  Rng data_rng(1234);
+  const Value domain = 5000;
+  Relation& rel =
+      CreateUniformRelation(&catalog, "R", 5, 4000, domain, &data_rng);
+  PlainEngine reference(rel);
+  std::unique_ptr<Engine> engine = MakeEngine(p.engine, rel);
+  ASSERT_NE(engine, nullptr);
+
+  Rng rng(99);
+  for (int q = 0; q < 40; ++q) {
+    QuerySpec spec;
+    spec.disjunctive = p.disjunctive;
+    const size_t num_sel = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+    for (size_t s = 0; s < num_sel; ++s) {
+      spec.selections.push_back(
+          {AttrName(s + 1),
+           bench::RandomRange(&rng, 1, domain, p.selectivity)});
+    }
+    spec.projections = {AttrName(4), AttrName(5)};
+    const QueryResult expected = reference.Run(spec);
+    const QueryResult got = engine->Run(spec);
+    ASSERT_EQ(got.num_rows, expected.num_rows)
+        << p.engine << " query " << q;
+    ASSERT_EQ(ZipRows(got), ZipRows(expected)) << p.engine << " query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineEquivalenceTest,
+    ::testing::Values(
+        EquivParam{"presorted", false, 0.1},
+        EquivParam{"presorted", true, 0.1},
+        EquivParam{"selection-cracking", false, 0.1},
+        EquivParam{"selection-cracking", true, 0.1},
+        EquivParam{"sideways", false, 0.1},
+        EquivParam{"sideways", true, 0.1},
+        EquivParam{"partial", false, 0.1},
+        EquivParam{"row", false, 0.1},
+        EquivParam{"row", true, 0.1},
+        EquivParam{"row-presorted", false, 0.1},
+        EquivParam{"sideways", false, 0.01},
+        EquivParam{"sideways", false, 0.6},
+        EquivParam{"partial", false, 0.01},
+        EquivParam{"partial", false, 0.6},
+        EquivParam{"selection-cracking", false, 0.6}),
+    [](const ::testing::TestParamInfo<EquivParam>& info) {
+      std::string name = info.param.engine;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      name += info.param.disjunctive ? "_disj" : "_conj";
+      name += "_sel" + std::to_string(
+                           static_cast<int>(info.param.selectivity * 100));
+      return name;
+    });
+
+TEST(EngineEquivalenceTest, PointQueriesAgree) {
+  Catalog catalog;
+  Rng data_rng(55);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 3, 2000, 200,
+                                        &data_rng);
+  PlainEngine reference(rel);
+  SidewaysEngine sideways(rel);
+  SelectionCrackingEngine cracking(rel);
+  Rng rng(56);
+  for (int q = 0; q < 30; ++q) {
+    QuerySpec spec;
+    spec.selections = {{AttrName(1), RangePredicate::Point(rng.Uniform(1, 200))}};
+    spec.projections = {AttrName(2)};
+    const auto expected = ZipRows(reference.Run(spec));
+    EXPECT_EQ(ZipRows(sideways.Run(spec)), expected);
+    EXPECT_EQ(ZipRows(cracking.Run(spec)), expected);
+  }
+}
+
+TEST(EngineEquivalenceTest, EmptyResultAgrees) {
+  Catalog catalog;
+  Rng data_rng(57);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 3, 500, 100, &data_rng);
+  SidewaysEngine sideways(rel);
+  PartialSidewaysEngine partial(rel);
+  QuerySpec spec;
+  spec.selections = {{AttrName(1), RangePredicate::Closed(500, 600)}};
+  spec.projections = {AttrName(2)};
+  EXPECT_EQ(sideways.Run(spec).num_rows, 0u);
+  EXPECT_EQ(partial.Run(spec).num_rows, 0u);
+}
+
+TEST(EngineEquivalenceTest, SelectionFreeProjection) {
+  Catalog catalog;
+  Rng data_rng(58);
+  Relation& rel = CreateUniformRelation(&catalog, "R", 2, 300, 100, &data_rng);
+  PlainEngine reference(rel);
+  SidewaysEngine sideways(rel);
+  PresortedEngine presorted(rel);
+  QuerySpec spec;
+  spec.projections = {AttrName(1), AttrName(2)};
+  const auto expected = ZipRows(reference.Run(spec));
+  EXPECT_EQ(ZipRows(sideways.Run(spec)), expected);
+  EXPECT_EQ(ZipRows(presorted.Run(spec)), expected);
+}
+
+TEST(EngineEquivalenceTest, SidewaysStorageBudgetPreservesResults) {
+  Catalog catalog;
+  Rng data_rng(59);
+  const Value domain = 2000;
+  Relation& rel = CreateUniformRelation(&catalog, "R", 6, 3000, domain,
+                                        &data_rng);
+  PlainEngine reference(rel);
+  // Budget for about two full maps: forces continuous drop/recreate.
+  SidewaysEngine sideways(rel, 2 * 3000 + 500);
+  Rng rng(60);
+  for (int q = 0; q < 30; ++q) {
+    QuerySpec spec;
+    spec.selections = {
+        {AttrName(1), bench::RandomRange(&rng, 1, domain, 0.1)}};
+    const std::string proj = AttrName(2 + (q % 5));
+    spec.projections = {proj};
+    ASSERT_EQ(ZipRows(sideways.Run(spec)), ZipRows(reference.Run(spec)))
+        << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace crackdb

@@ -1,0 +1,242 @@
+#include "core/map_set.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "storage/catalog.h"
+
+namespace crackdb {
+namespace {
+
+Relation& BuildRelation(Catalog* catalog, size_t rows, Value domain,
+                        uint64_t seed) {
+  Relation& rel = catalog->CreateRelation("R");
+  rel.AddColumn("A");
+  rel.AddColumn("B");
+  rel.AddColumn("C");
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    const Value row[] = {rng.Uniform(1, domain), rng.Uniform(1, domain),
+                         rng.Uniform(1, domain)};
+    rel.BulkLoadRow(row);
+  }
+  return rel;
+}
+
+/// Ground truth: multiset of B values whose row's A matches pred.
+std::multiset<Value> ScanTails(const Relation& rel, const std::string& tail,
+                               const RangePredicate& pred) {
+  std::multiset<Value> out;
+  const Column& a = rel.column("A");
+  const Column& t = rel.column(tail);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!rel.IsDeleted(static_cast<Key>(i)) && pred.Matches(a[i])) {
+      out.insert(t[i]);
+    }
+  }
+  return out;
+}
+
+TEST(MapSetTest, SidewaysSelectReturnsCorrectTails) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 3000, 1000, 1);
+  MapSet set(rel, "A");
+  CrackerMap& mab = set.GetOrCreateMap("B");
+  Rng rng(2);
+  for (int q = 0; q < 40; ++q) {
+    const Value lo = rng.Uniform(1, 900);
+    const RangePredicate pred = RangePredicate::Closed(lo, lo + 100);
+    const PositionRange area = set.SidewaysSelect(mab, pred);
+    std::multiset<Value> got(mab.store().tail.begin() + area.begin,
+                             mab.store().tail.begin() + area.end);
+    EXPECT_EQ(got, ScanTails(rel, "B", pred)) << "query " << q;
+  }
+}
+
+TEST(MapSetTest, MapsOfOneSetStayAligned) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 2000, 500, 3);
+  MapSet set(rel, "A");
+  CrackerMap& mab = set.GetOrCreateMap("B");
+  CrackerMap& mac = set.GetOrCreateMap("C");
+  Rng rng(4);
+  for (int q = 0; q < 30; ++q) {
+    const Value lo = rng.Uniform(1, 450);
+    const RangePredicate pred = RangePredicate::Closed(lo, lo + 50);
+    // Alternate which map runs first; both must agree afterwards.
+    if (q % 2 == 0) {
+      set.SidewaysSelect(mab, pred);
+      set.SidewaysSelect(mac, pred);
+    } else {
+      set.SidewaysSelect(mac, pred);
+      set.SidewaysSelect(mab, pred);
+    }
+    ASSERT_EQ(mab.store().head, mac.store().head) << "query " << q;
+    ASSERT_EQ(mab.cursor(), mac.cursor());
+  }
+}
+
+TEST(MapSetTest, LateCreatedMapAlignsByFullReplay) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 2000, 500, 5);
+  MapSet set(rel, "A");
+  CrackerMap& mab = set.GetOrCreateMap("B");
+  Rng rng(6);
+  for (int q = 0; q < 20; ++q) {
+    const Value lo = rng.Uniform(1, 400);
+    set.SidewaysSelect(mab, RangePredicate::Closed(lo, lo + 100));
+  }
+  // The C map is created now and must catch up with the whole history.
+  CrackerMap& mac = set.GetOrCreateMap("C");
+  EXPECT_EQ(mac.cursor(), 0u);
+  const RangePredicate pred = RangePredicate::Closed(100, 200);
+  set.SidewaysSelect(mac, pred);
+  set.SidewaysSelect(mab, pred);
+  EXPECT_EQ(mab.store().head, mac.store().head);
+}
+
+TEST(MapSetTest, CrackOnlyLoggedWhenReorganizing) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 1000, 500, 7);
+  MapSet set(rel, "A");
+  CrackerMap& mab = set.GetOrCreateMap("B");
+  const RangePredicate pred = RangePredicate::Closed(100, 200);
+  set.SidewaysSelect(mab, pred);
+  const size_t tape_after_first = set.tape().size();
+  EXPECT_GE(tape_after_first, 1u);
+  set.SidewaysSelect(mab, pred);  // same bounds: no physical work
+  EXPECT_EQ(set.tape().size(), tape_after_first);
+}
+
+TEST(MapSetTest, DropAndRecreateRelearnsFromTape) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 2000, 500, 8);
+  MapSet set(rel, "A");
+  CrackerMap& mab = set.GetOrCreateMap("B");
+  CrackerMap& mac = set.GetOrCreateMap("C");
+  Rng rng(9);
+  for (int q = 0; q < 15; ++q) {
+    const Value lo = rng.Uniform(1, 400);
+    const RangePredicate pred = RangePredicate::Closed(lo, lo + 100);
+    set.SidewaysSelect(mab, pred);
+    set.SidewaysSelect(mac, pred);
+  }
+  set.DropMap("B");
+  EXPECT_FALSE(set.HasMap("B"));
+  CrackerMap& mab2 = set.GetOrCreateMap("B");
+  const RangePredicate pred = RangePredicate::Closed(50, 150);
+  set.SidewaysSelect(mab2, pred);
+  set.SidewaysSelect(mac, pred);
+  EXPECT_EQ(mab2.store().head, mac.store().head);
+}
+
+TEST(MapSetTest, InsValuesFlowThroughTape) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 500, 100, 10);
+  MapSet set(rel, "A");
+  CrackerMap& mab = set.GetOrCreateMap("B");
+  CrackerMap& mac = set.GetOrCreateMap("C");
+  set.SidewaysSelect(mab, RangePredicate::Closed(10, 50));
+  const Value row[] = {30, 7777, 8888};
+  rel.AppendRow(row);
+  const RangePredicate pred = RangePredicate::Closed(20, 40);
+  const PositionRange area_b = set.SidewaysSelect(mab, pred);
+  std::multiset<Value> got_b(mab.store().tail.begin() + area_b.begin,
+                             mab.store().tail.begin() + area_b.end);
+  EXPECT_EQ(got_b.count(7777), 1u);
+  EXPECT_EQ(got_b, ScanTails(rel, "B", pred));
+  const PositionRange area_c = set.SidewaysSelect(mac, pred);
+  std::multiset<Value> got_c(mac.store().tail.begin() + area_c.begin,
+                             mac.store().tail.begin() + area_c.end);
+  EXPECT_EQ(got_c.count(8888), 1u);
+  EXPECT_EQ(mab.store().head, mac.store().head);
+}
+
+TEST(MapSetTest, DeletesResolveThroughKeyMap) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 500, 100, 11);
+  MapSet set(rel, "A");
+  CrackerMap& mab = set.GetOrCreateMap("B");
+  set.SidewaysSelect(mab, RangePredicate::Closed(1, 100));
+  // Delete two rows inside the future query range.
+  const Column& a = rel.column("A");
+  int deleted = 0;
+  for (size_t i = 0; i < a.size() && deleted < 2; ++i) {
+    if (a[i] >= 40 && a[i] <= 60) {
+      rel.DeleteRow(static_cast<Key>(i));
+      ++deleted;
+    }
+  }
+  ASSERT_EQ(deleted, 2);
+  const RangePredicate pred = RangePredicate::Closed(40, 60);
+  const PositionRange area = set.SidewaysSelect(mab, pred);
+  std::multiset<Value> got(mab.store().tail.begin() + area.begin,
+                           mab.store().tail.begin() + area.end);
+  EXPECT_EQ(got, ScanTails(rel, "B", pred));
+}
+
+TEST(MapSetTest, EstimatesBoundTruth) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 5000, 1000, 12);
+  MapSet set(rel, "A");
+  CrackerMap& mab = set.GetOrCreateMap("B");
+  Rng rng(13);
+  for (int q = 0; q < 10; ++q) {
+    const Value lo = rng.Uniform(1, 800);
+    set.SidewaysSelect(mab, RangePredicate::Closed(lo, lo + 150));
+  }
+  for (int q = 0; q < 20; ++q) {
+    const Value lo = rng.Uniform(1, 800);
+    const RangePredicate pred = RangePredicate::Closed(lo, lo + 150);
+    const auto est = set.EstimateMatches(pred);
+    const size_t truth = ScanTails(rel, "B", pred).size();
+    EXPECT_LE(est.lower_bound, truth);
+    EXPECT_GE(est.upper_bound, truth);
+  }
+}
+
+/// Property: under a random mix of queries (alternating maps), inserts and
+/// deletes, both maps return scan-exact results and stay mutually aligned.
+class MapSetUpdateSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MapSetUpdateSweep, AlignedUnderUpdates) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 1500, 800, GetParam());
+  MapSet set(rel, "A");
+  CrackerMap& mab = set.GetOrCreateMap("B");
+  CrackerMap& mac = set.GetOrCreateMap("C");
+  Rng rng(GetParam() + 99);
+  for (int step = 0; step < 80; ++step) {
+    if (rng.Bernoulli(0.35)) {
+      if (rng.Bernoulli(0.5)) {
+        const Value row[] = {rng.Uniform(1, 800), rng.Uniform(1, 800),
+                             rng.Uniform(1, 800)};
+        rel.AppendRow(row);
+      } else {
+        rel.DeleteRow(static_cast<Key>(
+            rng.Uniform(0, static_cast<Value>(rel.num_rows()) - 1)));
+      }
+    }
+    const Value lo = rng.Uniform(1, 700);
+    const RangePredicate pred = RangePredicate::Closed(lo, lo + 100);
+    CrackerMap& first = rng.Bernoulli(0.5) ? mab : mac;
+    CrackerMap& second = (&first == &mab) ? mac : mab;
+    const PositionRange a1 = set.SidewaysSelect(first, pred);
+    const PositionRange a2 = set.SidewaysSelect(second, pred);
+    ASSERT_EQ(a1.begin, a2.begin);
+    ASSERT_EQ(a1.end, a2.end);
+    ASSERT_EQ(mab.store().head, mac.store().head) << "step " << step;
+    std::multiset<Value> got(mab.store().tail.begin() + a1.begin,
+                             mab.store().tail.begin() + a1.end);
+    ASSERT_EQ(got, ScanTails(rel, "B", pred)) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapSetUpdateSweep,
+                         ::testing::Values(21, 42, 63, 84));
+
+}  // namespace
+}  // namespace crackdb

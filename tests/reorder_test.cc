@@ -1,0 +1,90 @@
+#include "engine/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace crackdb {
+namespace {
+
+Column MakeColumn(size_t n) {
+  Column c("A");
+  for (size_t i = 0; i < n; ++i) c.Append(static_cast<Value>(i * 7 % 1000));
+  return c;
+}
+
+std::vector<Key> ShuffledKeys(Rng* rng, size_t n, size_t count) {
+  std::vector<Key> keys;
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back(static_cast<Key>(rng->Uniform(0, static_cast<Value>(n) - 1)));
+  }
+  return keys;
+}
+
+TEST(ReorderTest, UnorderedMatchesDirectLookup) {
+  Rng rng(1);
+  const Column base = MakeColumn(5000);
+  const std::vector<Key> keys = ShuffledKeys(&rng, 5000, 700);
+  const std::vector<Value> got = ReconstructUnordered(base, keys);
+  ASSERT_EQ(got.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(got[i], base[keys[i]]);
+}
+
+TEST(ReorderTest, SortPathReturnsSameMultiset) {
+  Rng rng(2);
+  const Column base = MakeColumn(5000);
+  std::vector<Key> keys = ShuffledKeys(&rng, 5000, 700);
+  std::vector<Value> expected = ReconstructUnordered(base, keys);
+  std::sort(expected.begin(), expected.end());
+  std::vector<Value> got = ReconstructViaSort(base, &keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(RadixClusterTest, KeysClusteredByRegion) {
+  Rng rng(3);
+  std::vector<Key> keys = ShuffledKeys(&rng, 1 << 16, 5000);
+  const std::vector<Key> original = keys;
+  const unsigned region_bits = 10;
+  RadixClusterKeys(&keys, region_bits, 1 << 16);
+  // Same multiset.
+  std::vector<Key> a = keys;
+  std::vector<Key> b = original;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // Region ids must be non-decreasing.
+  for (size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LE(keys[i - 1] >> region_bits, keys[i] >> region_bits);
+  }
+}
+
+TEST(RadixClusterTest, StableWithinRegion) {
+  std::vector<Key> keys = {5, 1030, 7, 2060, 6, 1025};
+  RadixClusterKeys(&keys, 10, 4096);
+  EXPECT_EQ(keys, (std::vector<Key>{5, 7, 6, 1030, 1025, 2060}));
+}
+
+TEST(RadixClusterTest, SingleRegionIsNoop) {
+  std::vector<Key> keys = {9, 3, 7};
+  const std::vector<Key> original = keys;
+  RadixClusterKeys(&keys, 20, 1000);  // whole domain fits one region
+  EXPECT_EQ(keys, original);
+}
+
+TEST(ReorderTest, RadixPathReturnsSameMultiset) {
+  Rng rng(4);
+  const Column base = MakeColumn(1 << 15);
+  std::vector<Key> keys = ShuffledKeys(&rng, 1 << 15, 3000);
+  std::vector<Value> expected = ReconstructUnordered(base, keys);
+  std::sort(expected.begin(), expected.end());
+  std::vector<Value> got = ReconstructViaRadixCluster(base, &keys, 8);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace crackdb

@@ -1,0 +1,148 @@
+#include "updates/ripple.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace crackdb {
+namespace {
+
+CrackPairs RandomStore(Rng* rng, size_t n, Value domain) {
+  CrackPairs store;
+  for (size_t i = 0; i < n; ++i) {
+    store.PushBack(rng->Uniform(1, domain), static_cast<Value>(i));
+  }
+  return store;
+}
+
+std::multiset<std::pair<Value, Value>> Contents(const CrackPairs& s) {
+  std::multiset<std::pair<Value, Value>> out;
+  for (size_t i = 0; i < s.size(); ++i) out.insert({s.head[i], s.tail[i]});
+  return out;
+}
+
+TEST(RippleInsertTest, InsertIntoUncrackedStore) {
+  CrackPairs store;
+  CrackerIndex index;
+  RippleInsert(store, index, 5, 100);
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.head[0], 5);
+  EXPECT_EQ(store.tail[0], 100);
+}
+
+TEST(RippleInsertTest, InsertLandsInCorrectPiece) {
+  Rng rng(3);
+  CrackPairs store = RandomStore(&rng, 200, 100);
+  CrackerIndex index;
+  CrackOnPredicate(store, index, RangePredicate::Closed(30, 60));
+  for (Value v : {1, 30, 45, 60, 61, 99}) {
+    RippleInsert(store, index, v, 9000 + v);
+    EXPECT_TRUE(CheckCrackInvariant(store, index)) << "inserting " << v;
+    const auto pos = FindEntry(store, index, v, 9000 + v);
+    ASSERT_TRUE(pos.has_value()) << "inserting " << v;
+    EXPECT_EQ(store.head[*pos], v);
+  }
+}
+
+TEST(RippleInsertTest, PieceBoundariesShiftCorrectly) {
+  CrackPairs store;
+  for (Value v : {1, 2, 8, 9, 5, 4}) store.PushBack(v, v * 10);
+  CrackerIndex index;
+  CrackOnPredicate(store, index, RangePredicate::Closed(4, 5));
+  const PositionRange before = index.FindArea(RangePredicate::Closed(4, 5), 6);
+  RippleInsert(store, index, 3, 30);  // below the area: shifts it right
+  const PositionRange after = index.FindArea(RangePredicate::Closed(4, 5), 7);
+  EXPECT_EQ(after.begin, before.begin + 1);
+  EXPECT_EQ(after.end, before.end + 1);
+  EXPECT_TRUE(CheckCrackInvariant(store, index));
+}
+
+TEST(RippleDeleteTest, DeleteMaintainsInvariant) {
+  Rng rng(5);
+  CrackPairs store = RandomStore(&rng, 200, 100);
+  CrackerIndex index;
+  CrackOnPredicate(store, index, RangePredicate::Closed(20, 40));
+  CrackOnPredicate(store, index, RangePredicate::Closed(60, 80));
+  while (store.size() > 150) {
+    const size_t pos = static_cast<size_t>(
+        rng.Uniform(0, static_cast<Value>(store.size()) - 1));
+    const Value head = store.head[pos];
+    const Value tail = store.tail[pos];
+    RippleDeleteAt(store, index, pos);
+    ASSERT_TRUE(CheckCrackInvariant(store, index));
+    EXPECT_EQ(Contents(store).count({head, tail}), 0u);
+  }
+}
+
+TEST(RippleDeleteTest, DeleteLastEntry) {
+  CrackPairs store;
+  store.PushBack(5, 50);
+  CrackerIndex index;
+  RippleDeleteAt(store, index, 0);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(FindEntryTest, FindsOnlyWithinPiece) {
+  CrackPairs store;
+  for (Value v : {1, 2, 8, 9, 5, 4}) store.PushBack(v, v * 10);
+  CrackerIndex index;
+  CrackOnPredicate(store, index, RangePredicate::Closed(4, 5));
+  EXPECT_TRUE(FindEntry(store, index, 5, 50).has_value());
+  EXPECT_TRUE(FindEntry(store, index, 9, 90).has_value());
+  EXPECT_FALSE(FindEntry(store, index, 5, 51).has_value());
+  EXPECT_FALSE(FindEntry(store, index, 7, 70).has_value());
+}
+
+/// Property: interleaved cracks, inserts and deletes preserve content and
+/// the crack invariant, and two identical histories stay byte-identical
+/// (the update-replay determinism the tapes depend on).
+class RipplePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RipplePropertyTest, InterleavedOperationsStayConsistent) {
+  Rng rng(GetParam());
+  const Value domain = 1000;
+  CrackPairs store = RandomStore(&rng, 500, domain);
+  CrackPairs twin;
+  twin.head = store.head;
+  twin.tail = store.tail;
+  CrackerIndex index;
+  CrackerIndex twin_index;
+  auto expected = Contents(store);
+  Value next_tail = 100000;
+
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      const Value lo = rng.Uniform(1, domain - 50);
+      const RangePredicate pred = RangePredicate::Closed(lo, lo + 50);
+      CrackOnPredicate(store, index, pred);
+      CrackOnPredicate(twin, twin_index, pred);
+    } else if (dice < 0.75) {
+      const Value v = rng.Uniform(1, domain);
+      const Value t = next_tail++;
+      RippleInsert(store, index, v, t);
+      RippleInsert(twin, twin_index, v, t);
+      expected.insert({v, t});
+    } else if (!store.empty()) {
+      const size_t pos = static_cast<size_t>(
+          rng.Uniform(0, static_cast<Value>(store.size()) - 1));
+      expected.erase(expected.find({store.head[pos], store.tail[pos]}));
+      RippleDeleteAt(store, index, pos);
+      // Twin deletes the same logical position.
+      RippleDeleteAt(twin, twin_index, pos);
+    }
+    ASSERT_TRUE(CheckCrackInvariant(store, index)) << "step " << step;
+    ASSERT_EQ(store.head, twin.head) << "step " << step;
+    ASSERT_EQ(store.tail, twin.tail) << "step " << step;
+  }
+  EXPECT_EQ(Contents(store), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RipplePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace crackdb

@@ -1,0 +1,100 @@
+#include "storage/row_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace crackdb {
+namespace {
+
+RowStore MakeStore() {
+  RowStore store({"a", "b"});
+  const Value rows[][2] = {{5, 50}, {1, 10}, {3, 30}, {5, 51}, {2, 20}};
+  for (const auto& r : rows) store.AppendRow(r);
+  return store;
+}
+
+TEST(RowStoreTest, AppendAndAccess) {
+  RowStore store = MakeStore();
+  EXPECT_EQ(store.num_rows(), 5u);
+  EXPECT_EQ(store.num_columns(), 2u);
+  EXPECT_EQ(store.At(2, 0), 3);
+  EXPECT_EQ(store.At(2, 1), 30);
+  EXPECT_EQ(store.Row(0)[1], 50);
+  EXPECT_EQ(store.ColumnOrdinal("b"), 1u);
+}
+
+TEST(RowStoreTest, SortByClusters) {
+  RowStore store = MakeStore();
+  store.SortBy(0);
+  EXPECT_EQ(store.sorted_by(), 0u);
+  for (size_t r = 1; r < store.num_rows(); ++r) {
+    EXPECT_LE(store.At(r - 1, 0), store.At(r, 0));
+  }
+  // Stability: the two a=5 rows keep their relative order.
+  EXPECT_EQ(store.At(3, 1), 50);
+  EXPECT_EQ(store.At(4, 1), 51);
+}
+
+TEST(RowStoreTest, EqualRangeOnSorted) {
+  RowStore store = MakeStore();
+  store.SortBy(0);
+  const PositionRange r = store.EqualRange(RangePredicate::Closed(2, 3));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(store.At(r.begin, 0), 2);
+  EXPECT_EQ(store.At(r.end - 1, 0), 3);
+  const PositionRange all = store.EqualRange(RangePredicate{});
+  EXPECT_EQ(all.size(), store.num_rows());
+  const PositionRange none = store.EqualRange(RangePredicate::Closed(6, 9));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(RowStoreTest, EqualRangeHonoursInclusivity) {
+  RowStore store({"a"});
+  for (Value v : {1, 2, 2, 3, 4}) {
+    const Value row[] = {v};
+    store.AppendRow(row);
+  }
+  store.SortBy(0);
+  EXPECT_EQ(store.EqualRange(RangePredicate::Open(1, 3)).size(), 2u);
+  EXPECT_EQ(store.EqualRange(RangePredicate::Closed(2, 2)).size(), 2u);
+  EXPECT_EQ(store.EqualRange(RangePredicate::HalfOpen(2, 4)).size(), 3u);
+}
+
+TEST(RowStoreTest, ScanVisitsEveryRow) {
+  RowStore store = MakeStore();
+  size_t count = 0;
+  Value sum = 0;
+  store.Scan([&](size_t r, std::span<const Value> row) {
+    EXPECT_EQ(row.size(), 2u);
+    EXPECT_EQ(r, count);
+    ++count;
+    sum += row[0];
+  });
+  EXPECT_EQ(count, 5u);
+  EXPECT_EQ(sum, 16);
+}
+
+TEST(RowStoreTest, EqualRangeMatchesScanOnRandomData) {
+  Rng rng(99);
+  RowStore store({"a"});
+  for (int i = 0; i < 2000; ++i) {
+    const Value row[] = {rng.Uniform(0, 500)};
+    store.AppendRow(row);
+  }
+  store.SortBy(0);
+  for (int q = 0; q < 50; ++q) {
+    const Value lo = rng.Uniform(0, 500);
+    const Value hi = rng.Uniform(lo, 500);
+    const RangePredicate pred = RangePredicate::Closed(lo, hi);
+    const PositionRange r = store.EqualRange(pred);
+    size_t expected = 0;
+    store.Scan([&](size_t, std::span<const Value> row) {
+      if (pred.Matches(row[0])) ++expected;
+    });
+    EXPECT_EQ(r.size(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace crackdb

@@ -1,0 +1,114 @@
+// Section 3.3 "Map Set Choice: Self-organizing Histograms": conjunctive
+// queries must run over the map set of the *most selective* predicate
+// (minimal bit vector), disjunctive queries over the *least selective*
+// one — decided from the cracker indices, not from true cardinalities.
+
+#include <gtest/gtest.h>
+
+#include "bench_util/workload.h"
+#include "common/rng.h"
+#include "engine/sideways_engine.h"
+#include "storage/catalog.h"
+
+namespace crackdb {
+namespace {
+
+using bench::AttrName;
+
+class SetChoiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(31);
+    rel_ = &bench::CreateUniformRelation(&catalog_, "R", 4, 5000, 10000,
+                                         &rng);
+  }
+
+  Catalog catalog_;
+  Relation* rel_ = nullptr;
+};
+
+TEST_F(SetChoiceTest, ColdStartTrustsCallerOrdering) {
+  SidewaysEngine engine(*rel_);
+  QuerySpec spec;
+  spec.selections = {
+      {AttrName(1), RangePredicate::Closed(1, 100)},     // most selective
+      {AttrName(2), RangePredicate::Closed(1, 9000)},
+  };
+  spec.projections = {AttrName(3)};
+  engine.Run(spec);
+  // With no histogram knowledge, the head is the first (most selective by
+  // caller convention) selection: set A1 exists, set A2 does not.
+  EXPECT_TRUE(engine.HasSet(AttrName(1)));
+  EXPECT_FALSE(engine.HasSet(AttrName(2)));
+}
+
+TEST_F(SetChoiceTest, HistogramsOverrideCallerOrdering) {
+  SidewaysEngine engine(*rel_);
+  // Warm both candidate sets so estimates exist.
+  for (const char* attr : {"A1", "A2"}) {
+    QuerySpec warm;
+    warm.selections = {{attr, RangePredicate::Closed(1, 5000)}};
+    warm.projections = {AttrName(3)};
+    engine.Run(warm);
+  }
+  const size_t a2_maps_before =
+      engine.GetOrCreateSet(AttrName(2)).MapNames().size();
+  // Caller lists the WIDE predicate first; the histogram must still pick
+  // A2 (narrow) as the head set for the bit-vector pipeline, which makes
+  // the A2 set grow a map for A4.
+  QuerySpec spec;
+  spec.selections = {
+      {AttrName(1), RangePredicate::Closed(1, 9500)},   // ~95%
+      {AttrName(2), RangePredicate::Closed(1, 200)},    // ~2%
+  };
+  spec.projections = {AttrName(4)};
+  engine.Run(spec);
+  EXPECT_GT(engine.GetOrCreateSet(AttrName(2)).MapNames().size(),
+            a2_maps_before);
+  EXPECT_TRUE(engine.GetOrCreateSet(AttrName(2)).HasMap(AttrName(4)));
+}
+
+TEST_F(SetChoiceTest, DisjunctionPicksLeastSelective) {
+  SidewaysEngine engine(*rel_);
+  for (const char* attr : {"A1", "A2"}) {
+    QuerySpec warm;
+    warm.selections = {{attr, RangePredicate::Closed(1, 5000)}};
+    warm.projections = {AttrName(3)};
+    engine.Run(warm);
+  }
+  QuerySpec spec;
+  spec.disjunctive = true;
+  spec.selections = {
+      {AttrName(2), RangePredicate::Closed(1, 200)},    // narrow
+      {AttrName(1), RangePredicate::Closed(1, 9500)},   // wide -> head
+  };
+  spec.projections = {AttrName(4)};
+  engine.Run(spec);
+  // The wide predicate's set hosts the query: it gains the A4 map.
+  EXPECT_TRUE(engine.GetOrCreateSet(AttrName(1)).HasMap(AttrName(4)));
+  EXPECT_FALSE(engine.GetOrCreateSet(AttrName(2)).HasMap(AttrName(4)));
+}
+
+TEST_F(SetChoiceTest, EstimateAccuracyImprovesWithCracking) {
+  MapSet set(*rel_, AttrName(1));
+  CrackerMap& map = set.GetOrCreateMap(AttrName(2));
+  const RangePredicate probe = RangePredicate::Closed(2000, 3000);
+  const auto before = set.EstimateMatches(probe);
+  const size_t truth = rel_->column(AttrName(1)).CountMatches(probe);
+  // Cold: bounds are trivial (whole relation).
+  EXPECT_EQ(before.lower_bound, 0u);
+  EXPECT_EQ(before.upper_bound, rel_->num_rows());
+  Rng rng(32);
+  for (int q = 0; q < 40; ++q) {
+    const Value lo = rng.Uniform(1, 9000);
+    set.SidewaysSelect(map, RangePredicate::Closed(lo, lo + 500));
+  }
+  const auto after = set.EstimateMatches(probe);
+  EXPECT_LE(after.lower_bound, truth);
+  EXPECT_GE(after.upper_bound, truth);
+  // The bracket must have tightened substantially.
+  EXPECT_LT(after.upper_bound - after.lower_bound, rel_->num_rows() / 4);
+}
+
+}  // namespace
+}  // namespace crackdb

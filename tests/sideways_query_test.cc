@@ -1,0 +1,178 @@
+#include "core/sideways.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "storage/catalog.h"
+
+namespace crackdb {
+namespace {
+
+Relation& BuildRelation(Catalog* catalog, size_t rows, Value domain,
+                        uint64_t seed) {
+  Relation& rel = catalog->CreateRelation("R");
+  for (const char* name : {"A", "B", "C", "D"}) rel.AddColumn(name);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    const Value row[] = {rng.Uniform(1, domain), rng.Uniform(1, domain),
+                         rng.Uniform(1, domain), rng.Uniform(1, domain)};
+    rel.BulkLoadRow(row);
+  }
+  return rel;
+}
+
+/// Ground-truth rows (as sorted tuples) for a conjunctive/disjunctive query
+/// with head pred on A and tail preds, projecting the given columns.
+std::multiset<std::vector<Value>> ScanRows(
+    const Relation& rel, const RangePredicate& pred_a,
+    const std::vector<std::pair<std::string, RangePredicate>>& tails,
+    bool disjunctive, const std::vector<std::string>& projections) {
+  std::multiset<std::vector<Value>> out;
+  const Column& a = rel.column("A");
+  for (size_t i = 0; i < a.size(); ++i) {
+    bool match;
+    if (disjunctive) {
+      match = pred_a.Matches(a[i]);
+      for (const auto& [attr, pred] : tails) {
+        match = match || pred.Matches(rel.column(attr)[i]);
+      }
+    } else {
+      match = pred_a.Matches(a[i]);
+      for (const auto& [attr, pred] : tails) {
+        match = match && pred.Matches(rel.column(attr)[i]);
+      }
+    }
+    if (!match) continue;
+    std::vector<Value> row;
+    for (const std::string& p : projections) row.push_back(rel.column(p)[i]);
+    out.insert(row);
+  }
+  return out;
+}
+
+std::multiset<std::vector<Value>> ZipRows(
+    const std::vector<std::vector<Value>>& columns) {
+  std::multiset<std::vector<Value>> out;
+  if (columns.empty()) return out;
+  for (size_t i = 0; i < columns[0].size(); ++i) {
+    std::vector<Value> row;
+    row.reserve(columns.size());
+    for (const auto& col : columns) row.push_back(col[i]);
+    out.insert(row);
+  }
+  return out;
+}
+
+TEST(SidewaysQueryTest, MultiProjectionSingleSelection) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 2000, 500, 1);
+  MapSet set(rel, "A");
+  const RangePredicate pred = RangePredicate::Closed(100, 200);
+  SidewaysQuery q(set, pred);
+  const std::vector<Value> b = q.FetchTail("B");
+  const std::vector<Value> c = q.FetchTail("C");
+  EXPECT_EQ(ZipRows({b, c}), ScanRows(rel, pred, {}, false, {"B", "C"}));
+}
+
+TEST(SidewaysQueryTest, HeadProjection) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 1000, 500, 2);
+  MapSet set(rel, "A");
+  const RangePredicate pred = RangePredicate::Closed(50, 99);
+  SidewaysQuery q(set, pred);
+  const std::vector<Value> b = q.FetchTail("B");
+  const std::vector<Value> a = q.FetchHead();
+  ASSERT_EQ(a.size(), b.size());
+  for (Value v : a) EXPECT_TRUE(pred.Matches(v));
+  EXPECT_EQ(ZipRows({a, b}), ScanRows(rel, pred, {}, false, {"A", "B"}));
+}
+
+TEST(SidewaysQueryTest, ConjunctiveBitVectorPipeline) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 3000, 500, 3);
+  MapSet set(rel, "A");
+  const RangePredicate pa = RangePredicate::Closed(100, 300);
+  const RangePredicate pb = RangePredicate::Closed(50, 250);
+  const RangePredicate pc = RangePredicate::Closed(200, 400);
+  SidewaysQuery q(set, pa);
+  q.AddTailSelection("B", pb);
+  q.AddTailSelection("C", pc);
+  const std::vector<Value> d = q.FetchTail("D");
+  EXPECT_EQ(ZipRows({d}),
+            ScanRows(rel, pa, {{"B", pb}, {"C", pc}}, false, {"D"}));
+  EXPECT_EQ(q.NumQualifying(), d.size());
+}
+
+TEST(SidewaysQueryTest, DisjunctiveQueryScansOutsideArea) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 3000, 500, 4);
+  MapSet set(rel, "A");
+  const RangePredicate pa = RangePredicate::Closed(100, 300);
+  const RangePredicate pb = RangePredicate::Closed(450, 500);
+  SidewaysQuery q(set, pa, /*disjunctive=*/true);
+  q.AddTailSelection("B", pb);
+  const std::vector<Value> d = q.FetchTail("D");
+  EXPECT_EQ(ZipRows({d}), ScanRows(rel, pa, {{"B", pb}}, true, {"D"}));
+}
+
+TEST(SidewaysQueryTest, FetchAtReturnsOrdinalRows) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 2000, 500, 5);
+  MapSet set(rel, "A");
+  const RangePredicate pred = RangePredicate::Closed(100, 400);
+  SidewaysQuery q(set, pred);
+  const std::vector<Value> b = q.FetchTail("B");
+  ASSERT_GT(b.size(), 10u);
+  const std::vector<uint32_t> ordinals = {0, 5, 9, 5};
+  const std::vector<Value> picked = q.FetchTailAt("B", ordinals);
+  ASSERT_EQ(picked.size(), 4u);
+  EXPECT_EQ(picked[0], b[0]);
+  EXPECT_EQ(picked[1], b[5]);
+  EXPECT_EQ(picked[2], b[9]);
+  EXPECT_EQ(picked[3], b[5]);
+  // Head values at the same ordinals belong to the same tuples.
+  const std::vector<Value> heads = q.FetchHeadAt(ordinals);
+  const std::vector<Value> all_heads = q.FetchHead();
+  EXPECT_EQ(heads[2], all_heads[9]);
+}
+
+TEST(SidewaysQueryTest, EmptyResultRange) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 500, 100, 6);
+  MapSet set(rel, "A");
+  SidewaysQuery q(set, RangePredicate::Closed(5000, 6000));
+  EXPECT_TRUE(q.FetchTail("B").empty());
+  EXPECT_EQ(q.NumQualifying(), 0u);
+}
+
+class SidewaysQuerySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SidewaysQuerySweep, RandomConjunctionsMatchScan) {
+  Catalog catalog;
+  Relation& rel = BuildRelation(&catalog, 2500, 600, GetParam());
+  MapSet set(rel, "A");
+  Rng rng(GetParam() * 13);
+  for (int step = 0; step < 40; ++step) {
+    const Value alo = rng.Uniform(1, 500);
+    const Value blo = rng.Uniform(1, 500);
+    const RangePredicate pa = RangePredicate::Closed(alo, alo + 100);
+    const RangePredicate pb = RangePredicate::Closed(blo, blo + 200);
+    const bool disjunctive = rng.Bernoulli(0.3);
+    SidewaysQuery q(set, pa, disjunctive);
+    q.AddTailSelection("B", pb);
+    const std::vector<Value> c = q.FetchTail("C");
+    const std::vector<Value> d = q.FetchTail("D");
+    ASSERT_EQ(ZipRows({c, d}),
+              ScanRows(rel, pa, {{"B", pb}}, disjunctive, {"C", "D"}))
+        << "step " << step << " disjunctive=" << disjunctive;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SidewaysQuerySweep,
+                         ::testing::Values(7, 14, 21, 28));
+
+}  // namespace
+}  // namespace crackdb

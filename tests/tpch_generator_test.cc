@@ -1,0 +1,159 @@
+#include "tpch/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/schema.h"
+
+namespace crackdb::tpch {
+namespace {
+
+TEST(DateTest, RoundTripsKnownDates) {
+  const Value d = DateToDays(1995, 6, 17);
+  int y, m, day;
+  DaysToDate(d, &y, &m, &day);
+  EXPECT_EQ(y, 1995);
+  EXPECT_EQ(m, 6);
+  EXPECT_EQ(day, 17);
+  EXPECT_EQ(DateToDays(1970, 1, 1), 0);
+  EXPECT_EQ(DateToDays(1970, 1, 2), 1);
+  EXPECT_LT(kStartDate, kCurrentDate);
+  EXPECT_LT(kCurrentDate, kEndDate);
+}
+
+TEST(DateTest, MonthBoundaries) {
+  EXPECT_EQ(DateToDays(1992, 3, 1) - DateToDays(1992, 2, 1), 29);  // leap
+  EXPECT_EQ(DateToDays(1993, 3, 1) - DateToDays(1993, 2, 1), 28);
+  EXPECT_EQ(DateToDays(1993, 1, 1) - DateToDays(1992, 1, 1), 366);
+}
+
+class TpchGeneratorTest : public ::testing::Test {
+ protected:
+  static TpchDatabase& Db() {
+    static TpchDatabase* db = new TpchDatabase(0.01);
+    return *db;
+  }
+};
+
+TEST_F(TpchGeneratorTest, CardinalitiesMatchScaleFactor) {
+  TpchDatabase& db = Db();
+  EXPECT_EQ(db.relation("region").num_rows(), 5u);
+  EXPECT_EQ(db.relation("nation").num_rows(), 25u);
+  EXPECT_EQ(db.relation("supplier").num_rows(), 100u);
+  EXPECT_EQ(db.relation("part").num_rows(), 2000u);
+  EXPECT_EQ(db.relation("partsupp").num_rows(), 8000u);
+  EXPECT_EQ(db.relation("customer").num_rows(), 1500u);
+  EXPECT_EQ(db.relation("orders").num_rows(), 15000u);
+  const size_t lines = db.relation("lineitem").num_rows();
+  EXPECT_GT(lines, 15000u * 2);  // ~4 lines per order
+  EXPECT_LT(lines, 15000u * 8);
+}
+
+TEST_F(TpchGeneratorTest, LineitemDateOrderings) {
+  TpchDatabase& db = Db();
+  const Relation& li = db.relation("lineitem");
+  const Column& ship = li.column("l_shipdate");
+  const Column& receipt = li.column("l_receiptdate");
+  for (size_t i = 0; i < li.num_rows(); i += 97) {
+    EXPECT_LT(ship[i], receipt[i]);
+    EXPECT_GE(ship[i], kStartDate);
+    EXPECT_LE(receipt[i], kEndDate + 151);
+  }
+}
+
+TEST_F(TpchGeneratorTest, ReturnFlagFollowsReceiptDateRule) {
+  TpchDatabase& db = Db();
+  const Relation& li = db.relation("lineitem");
+  const Value flag_n = db.Code("lineitem.l_returnflag", "N");
+  const Column& flag = li.column("l_returnflag");
+  const Column& receipt = li.column("l_receiptdate");
+  for (size_t i = 0; i < li.num_rows(); i += 53) {
+    if (receipt[i] > kCurrentDate) {
+      EXPECT_EQ(flag[i], flag_n) << "row " << i;
+    } else {
+      EXPECT_NE(flag[i], flag_n) << "row " << i;
+    }
+  }
+}
+
+TEST_F(TpchGeneratorTest, RetailPriceFormula) {
+  TpchDatabase& db = Db();
+  const Relation& part = db.relation("part");
+  const Column& price = part.column("p_retailprice");
+  const Column& key = part.column("p_partkey");
+  for (size_t i = 0; i < part.num_rows(); i += 31) {
+    const Value k = key[i];
+    EXPECT_EQ(price[i], 90000 + (k / 10) % 20001 + 100 * (k % 1000));
+  }
+}
+
+TEST_F(TpchGeneratorTest, DictionaryDomains) {
+  TpchDatabase& db = Db();
+  Catalog& catalog = db.catalog();
+  EXPECT_EQ(catalog.dictionary("lineitem.l_shipmode").size(), 7u);
+  EXPECT_EQ(catalog.dictionary("orders.o_orderpriority").size(), 5u);
+  EXPECT_EQ(catalog.dictionary("part.p_type").size(), 150u);
+  EXPECT_EQ(catalog.dictionary("part.p_container").size(), 40u);
+  EXPECT_EQ(catalog.dictionary("part.p_brand").size(), 25u);
+  // PROMO types form a contiguous sorted-code range.
+  const Dictionary& types = catalog.dictionary("part.p_type");
+  Value promo_count = 0;
+  for (size_t c = 0; c < types.size(); ++c) {
+    if (types.Decode(static_cast<Value>(c)).rfind("PROMO", 0) == 0) {
+      ++promo_count;
+    }
+  }
+  EXPECT_EQ(promo_count, 25);  // 5 x 5 second/third syllables
+}
+
+TEST_F(TpchGeneratorTest, ForeignKeysInRange) {
+  TpchDatabase& db = Db();
+  const Relation& li = db.relation("lineitem");
+  const size_t parts = db.relation("part").num_rows();
+  const size_t supps = db.relation("supplier").num_rows();
+  const Column& pk = li.column("l_partkey");
+  const Column& sk = li.column("l_suppkey");
+  for (size_t i = 0; i < li.num_rows(); i += 71) {
+    EXPECT_GE(pk[i], 1);
+    EXPECT_LE(pk[i], static_cast<Value>(parts));
+    EXPECT_GE(sk[i], 1);
+    EXPECT_LE(sk[i], static_cast<Value>(supps));
+  }
+}
+
+TEST_F(TpchGeneratorTest, DeterministicUnderSeed) {
+  TpchDatabase a(0.001, 7);
+  TpchDatabase b(0.001, 7);
+  const Column& ca = a.relation("lineitem").column("l_extendedprice");
+  const Column& cb = b.relation("lineitem").column("l_extendedprice");
+  ASSERT_EQ(ca.size(), cb.size());
+  EXPECT_EQ(ca.values(), cb.values());
+  TpchDatabase c(0.001, 8);
+  EXPECT_NE(c.relation("lineitem").column("l_extendedprice").values(),
+            ca.values());
+}
+
+TEST_F(TpchGeneratorTest, OrderStatusConsistentWithLineStatus) {
+  TpchDatabase& db = Db();
+  const Relation& orders = db.relation("orders");
+  const Value status_f = db.Code("orders.o_orderstatus", "F");
+  const Value status_o = db.Code("orders.o_orderstatus", "O");
+  const Column& status = orders.column("o_orderstatus");
+  size_t f = 0, o = 0, p = 0;
+  for (size_t i = 0; i < orders.num_rows(); ++i) {
+    if (status[i] == status_f) {
+      ++f;
+    } else if (status[i] == status_o) {
+      ++o;
+    } else {
+      ++p;
+    }
+  }
+  // Roughly half the timeline is before the current date: all three states
+  // must occur, F and O dominating.
+  EXPECT_GT(f, orders.num_rows() / 10);
+  EXPECT_GT(o, orders.num_rows() / 10);
+  EXPECT_GT(p, 0u);
+}
+
+}  // namespace
+}  // namespace crackdb::tpch

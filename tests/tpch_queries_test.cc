@@ -1,0 +1,148 @@
+#include "tpch/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/partial_engine.h"
+#include "engine/plain_engine.h"
+#include "engine/presorted_engine.h"
+#include "engine/row_engine.h"
+#include "engine/selection_cracking_engine.h"
+#include "engine/sideways_engine.h"
+
+namespace crackdb::tpch {
+namespace {
+
+TpchDatabase& Db() {
+  static TpchDatabase* db = new TpchDatabase(0.01);
+  return *db;
+}
+
+EngineSet MakeSet(const std::string& kind) {
+  if (kind == "plain") {
+    return EngineSet(Db(), kind, [](const Relation& r) {
+      return std::make_unique<PlainEngine>(r);
+    });
+  }
+  if (kind == "presorted") {
+    return EngineSet(Db(), kind, [](const Relation& r) {
+      return std::make_unique<PresortedEngine>(r);
+    });
+  }
+  if (kind == "selection-cracking") {
+    return EngineSet(Db(), kind, [](const Relation& r) {
+      return std::make_unique<SelectionCrackingEngine>(r);
+    });
+  }
+  if (kind == "sideways") {
+    return EngineSet(Db(), kind, [](const Relation& r) {
+      return std::make_unique<SidewaysEngine>(r);
+    });
+  }
+  if (kind == "row-presorted") {
+    return EngineSet(Db(), kind, [](const Relation& r) {
+      return std::make_unique<RowEngine>(r, true);
+    });
+  }
+  ADD_FAILURE() << "unknown engine kind " << kind;
+  return EngineSet(Db(), kind, nullptr);
+}
+
+TEST(TpchQueriesTest, RegistryHoldsTheTwelveEvaluatedQueries) {
+  const auto& queries = AllQueries();
+  ASSERT_EQ(queries.size(), 12u);
+  const int expected[] = {1, 3, 4, 6, 7, 8, 10, 12, 14, 15, 19, 20};
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].number, expected[i]);
+  }
+  EXPECT_EQ(QueryByNumber(6).name, "forecast-revenue");
+}
+
+/// Cross-engine agreement per query: the headline correctness property for
+/// the TPC-H harness (paper Section 5 compares response times of systems
+/// answering identically).
+class TpchQueryAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchQueryAgreement, EnginesReturnIdenticalResults) {
+  const TpchQueryDef& query = QueryByNumber(GetParam());
+  EngineSet plain = MakeSet("plain");
+  EngineSet presorted = MakeSet("presorted");
+  EngineSet cracking = MakeSet("selection-cracking");
+  EngineSet sideways = MakeSet("sideways");
+  EngineSet row = MakeSet("row-presorted");
+
+  Rng rng(1000 + GetParam());
+  for (int variation = 0; variation < 3; ++variation) {
+    const QueryParams params = query.randomize(Db(), rng);
+    const TpchResult expected = query.run(Db(), plain, params);
+    EXPECT_EQ(query.run(Db(), presorted, params), expected)
+        << "presorted, variation " << variation;
+    EXPECT_EQ(query.run(Db(), cracking, params), expected)
+        << "selection-cracking, variation " << variation;
+    EXPECT_EQ(query.run(Db(), sideways, params), expected)
+        << "sideways, variation " << variation;
+    EXPECT_EQ(query.run(Db(), row, params), expected)
+        << "row-presorted, variation " << variation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, TpchQueryAgreement,
+                         ::testing::Values(1, 3, 4, 6, 7, 8, 10, 12, 14, 15,
+                                           19, 20),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST(TpchQueriesTest, Q1ProducesTheFourFlagStatusGroups) {
+  EngineSet plain = MakeSet("plain");
+  Rng rng(5);
+  const TpchQueryDef& q1 = QueryByNumber(1);
+  const TpchResult r = q1.run(Db(), plain, q1.randomize(Db(), rng));
+  // A/F, N/F, N/O, R/F.
+  EXPECT_EQ(r.size(), 4u);
+  for (const auto& row : r) {
+    ASSERT_EQ(row.size(), 7u);
+    EXPECT_GT(row[6], 0);                // count
+    EXPECT_GE(row[3], row[4]);           // base >= discounted
+  }
+}
+
+TEST(TpchQueriesTest, Q6RevenuePositiveAndStableAcrossRepeats) {
+  EngineSet sideways = MakeSet("sideways");
+  Rng rng(6);
+  const TpchQueryDef& q6 = QueryByNumber(6);
+  const QueryParams params = q6.randomize(Db(), rng);
+  const TpchResult first = q6.run(Db(), sideways, params);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_GT(first[0][0], 0);
+  // Cracking continues across repeats; the answer must not drift.
+  for (int rep = 0; rep < 4; ++rep) {
+    EXPECT_EQ(q6.run(Db(), sideways, params), first) << "repeat " << rep;
+  }
+}
+
+TEST(TpchQueriesTest, Q3TopTenOrderedByRevenue) {
+  EngineSet plain = MakeSet("plain");
+  Rng rng(7);
+  const TpchQueryDef& q3 = QueryByNumber(3);
+  const TpchResult r = q3.run(Db(), plain, q3.randomize(Db(), rng));
+  EXPECT_LE(r.size(), 10u);
+  for (size_t i = 1; i < r.size(); ++i) {
+    EXPECT_GE(r[i - 1][1], r[i][1]);  // revenue descending
+  }
+}
+
+TEST(TpchQueriesTest, Q19HandlesEmptyBranches) {
+  EngineSet plain = MakeSet("plain");
+  const TpchQueryDef& q19 = QueryByNumber(19);
+  // Extreme quantities make branches empty; the query must return 0, not
+  // fail.
+  QueryParams p;
+  p.code1 = p.code2 = p.code3 = 0;
+  p.int1 = p.int2 = p.int3 = 1000;
+  const TpchResult r = q19.run(Db(), plain, p);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0][0], 0);
+}
+
+}  // namespace
+}  // namespace crackdb::tpch
