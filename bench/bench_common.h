@@ -17,21 +17,50 @@
 
 namespace crackdb::bench {
 
+/// The one table every engine kind lives in: MakeEngine dispatches over it
+/// and build_sanity_test iterates it, so adding a kind here is the only way
+/// to make it reachable — and doing so automatically puts it under test.
+struct EngineKindEntry {
+  const char* name;
+  std::unique_ptr<Engine> (*make)(const Relation&);
+};
+
+inline constexpr EngineKindEntry kEngineKinds[] = {
+    {"plain",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<PlainEngine>(r);
+     }},
+    {"presorted",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<PresortedEngine>(r);
+     }},
+    {"selection-cracking",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<SelectionCrackingEngine>(r);
+     }},
+    {"sideways",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<SidewaysEngine>(r);
+     }},
+    {"partial",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<PartialSidewaysEngine>(r);
+     }},
+    {"row",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<RowEngine>(r, false);
+     }},
+    {"row-presorted",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<RowEngine>(r, true);
+     }},
+};
+
 /// Engine factory shared by the figure-reproduction binaries.
 inline std::unique_ptr<Engine> MakeEngine(const std::string& kind,
                                           const Relation& relation) {
-  if (kind == "plain") return std::make_unique<PlainEngine>(relation);
-  if (kind == "presorted") return std::make_unique<PresortedEngine>(relation);
-  if (kind == "selection-cracking") {
-    return std::make_unique<SelectionCrackingEngine>(relation);
-  }
-  if (kind == "sideways") return std::make_unique<SidewaysEngine>(relation);
-  if (kind == "partial") {
-    return std::make_unique<PartialSidewaysEngine>(relation);
-  }
-  if (kind == "row") return std::make_unique<RowEngine>(relation, false);
-  if (kind == "row-presorted") {
-    return std::make_unique<RowEngine>(relation, true);
+  for (const EngineKindEntry& entry : kEngineKinds) {
+    if (kind == entry.name) return entry.make(relation);
   }
   return nullptr;
 }

@@ -5,6 +5,7 @@
 // avoid the threshold entirely; full maps blow through it and pay
 // recreation peaks. Panel (c) tracks storage used.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -56,7 +57,7 @@ void Run(const BenchArgs& args) {
   const size_t queries = args.queries != 0 ? args.queries
                          : args.paper_scale ? 1000
                                             : 300;
-  const size_t batch = queries / 10;
+  const size_t batch = std::max<size_t>(1, queries / 10);
   Catalog catalog;
   Rng data_rng(args.seed);
   Relation& rel = CreateUniformRelation(&catalog, "R", 11, rows, 10'000'000,

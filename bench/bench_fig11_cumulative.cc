@@ -4,6 +4,7 @@
 // maps' smoother behaviour is free — for selective workloads they beat
 // full maps outright, and only around ~30% selectivity do the totals meet.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -38,7 +39,7 @@ void Run(const BenchArgs& args) {
   const size_t queries = args.queries != 0 ? args.queries
                          : args.paper_scale ? 1000
                                             : 200;
-  const size_t batch = queries / 10;
+  const size_t batch = std::max<size_t>(1, queries / 10);
   Catalog catalog;
   Rng data_rng(args.seed);
   Relation& rel = CreateUniformRelation(&catalog, "R", 11, rows, 10'000'000,

@@ -5,6 +5,7 @@
 // against partial maps (smooth, chunk-granular). Panel (d) tracks the
 // auxiliary storage used over the sequence.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -59,7 +60,7 @@ void Run(const BenchArgs& args) {
   const size_t queries = args.queries != 0 ? args.queries
                          : args.paper_scale ? 1000
                                             : 300;
-  const size_t batch = queries / 10;  // 5 types, cycled twice
+  const size_t batch = std::max<size_t>(1, queries / 10);
   Catalog catalog;
   Rng data_rng(args.seed);
   Relation& rel = CreateUniformRelation(&catalog, "R", 11, rows, 10'000'000,

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/bitvector.h"
 #include "common/rng.h"
 #include "cracking/crack.h"
@@ -125,4 +128,25 @@ BENCHMARK(BM_BitVectorRefine)->Arg(1 << 14)->Arg(1 << 18);
 }  // namespace
 }  // namespace crackdb
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() with a `--smoke` translation so this binary registers as
+// a CTest smoke test like the figure benches: one near-instant iteration per
+// benchmark, same code paths.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  char min_time[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

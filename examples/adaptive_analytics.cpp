@@ -4,10 +4,11 @@
 // cracking approaches presorted performance on the workload's hot set
 // without ever paying a presort, and keeps adapting when the focus moves.
 //
-//   ./examples/adaptive_analytics
+//   ./examples/adaptive_analytics [--smoke]
 
 #include <cstdio>
 
+#include "bench_util/runner.h"
 #include "common/timer.h"
 #include "engine/operators.h"
 #include "engine/presorted_engine.h"
@@ -39,10 +40,11 @@ double RunRevenueQuery(Engine* engine, Value date_lo, Value date_hi,
 
 }  // namespace
 
-int main() {
-  TpchDatabase db(0.05);
+int main(int argc, char** argv) {
+  const double sf = crackdb::bench::SmokeRequested(argc, argv) ? 0.01 : 0.05;
+  TpchDatabase db(sf);
   const Relation& lineitem = db.relation("lineitem");
-  std::printf("lineitem: %zu rows (SF 0.05)\n", lineitem.num_rows());
+  std::printf("lineitem: %zu rows (SF %.2f)\n", lineitem.num_rows(), sf);
 
   SidewaysEngine sideways(lineitem);
   PresortedEngine presorted(lineitem);

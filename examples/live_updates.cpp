@@ -4,10 +4,11 @@
 // a query actually needs the affected value range — the maps never lose
 // the knowledge accumulated by earlier cracking.
 //
-//   ./examples/live_updates
+//   ./examples/live_updates [--smoke]
 
 #include <cstdio>
 
+#include "bench_util/runner.h"
 #include "bench_util/workload.h"
 #include "common/rng.h"
 #include "engine/plain_engine.h"
@@ -16,7 +17,8 @@
 
 using namespace crackdb;
 
-int main() {
+int main(int argc, char** argv) {
+  const int rows = bench::SmokeRequested(argc, argv) ? 20'000 : 200'000;
   Catalog catalog;
   Rng rng(23);
   const Value domain = 1'000'000;
@@ -24,7 +26,7 @@ int main() {
   orders.AddColumn("amount");
   orders.AddColumn("customer");
   orders.AddColumn("region");
-  for (int i = 0; i < 200'000; ++i) {
+  for (int i = 0; i < rows; ++i) {
     const Value row[] = {rng.Uniform(1, domain), rng.Uniform(1, 50'000),
                          rng.Uniform(1, 100)};
     orders.BulkLoadRow(row);

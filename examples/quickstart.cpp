@@ -2,10 +2,11 @@
 // partial sideways cracking, and watch the system get faster on its own —
 // no index creation, no presorting, no workload knowledge.
 //
-//   ./examples/quickstart
+//   ./examples/quickstart [--smoke]
 
 #include <cstdio>
 
+#include "bench_util/runner.h"
 #include "bench_util/workload.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -15,7 +16,8 @@
 
 using namespace crackdb;
 
-int main() {
+int main(int argc, char** argv) {
+  const int rows = bench::SmokeRequested(argc, argv) ? 20'000 : 500'000;
   // 1. A catalog owns relations; load one with three integer attributes.
   Catalog catalog;
   Rng rng(7);
@@ -23,7 +25,7 @@ int main() {
   sensors.AddColumn("temperature");  // millidegrees
   sensors.AddColumn("pressure");
   sensors.AddColumn("device_id");
-  for (int i = 0; i < 500'000; ++i) {
+  for (int i = 0; i < rows; ++i) {
     const Value row[] = {rng.Uniform(-20'000, 120'000),
                          rng.Uniform(90'000, 110'000),
                          rng.Uniform(1, 5'000)};

@@ -4,10 +4,11 @@
 // evicts the least-used ones when the budget binds, and recreates them on
 // demand — no query ever fails, results stay exact.
 //
-//   ./examples/storage_budget
+//   ./examples/storage_budget [--smoke]
 
 #include <cstdio>
 
+#include "bench_util/runner.h"
 #include "bench_util/workload.h"
 #include "common/rng.h"
 #include "engine/partial_engine.h"
@@ -16,10 +17,10 @@
 
 using namespace crackdb;
 
-int main() {
+int main(int argc, char** argv) {
   Catalog catalog;
   Rng rng(11);
-  const size_t rows = 300'000;
+  const size_t rows = bench::SmokeRequested(argc, argv) ? 30'000 : 300'000;
   Relation& rel = bench::CreateUniformRelation(&catalog, "events", 8, rows,
                                                1'000'000, &rng);
 

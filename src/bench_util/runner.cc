@@ -43,17 +43,33 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.seed = static_cast<uint64_t>(std::atoll(a + 7));
     } else if (std::strcmp(a, "--paper-scale") == 0) {
       args.paper_scale = true;
+    } else if (std::strcmp(a, "--smoke") == 0) {
+      args.smoke = true;
     } else if (std::strncmp(a, "--sf=", 5) == 0) {
       args.scale_factor = std::atof(a + 5);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--rows=N] [--queries=N] [--seed=N] "
-                   "[--paper-scale] [--sf=F]\n",
+                   "[--paper-scale] [--smoke] [--sf=F]\n",
                    argv[0]);
       std::exit(2);
     }
   }
+  // Smoke mode rides the existing "explicit flags beat binary defaults"
+  // mechanism: it fills in tiny sizes wherever the caller left the default.
+  if (args.smoke) {
+    if (args.rows == 0) args.rows = kSmokeRows;
+    if (args.queries == 0) args.queries = kSmokeQueries;
+    if (args.scale_factor <= 0) args.scale_factor = kSmokeScaleFactor;
+  }
   return args;
+}
+
+bool SmokeRequested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace crackdb::bench

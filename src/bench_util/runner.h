@@ -28,16 +28,29 @@ RunOutcome RunTimed(Engine* engine, const QuerySpec& spec,
                     bool keep_result = false);
 
 /// Command-line parsing for the bench binaries: --rows=N --queries=N
-/// --paper-scale --seed=N etc. Unknown flags abort with a usage message.
+/// --paper-scale --smoke --seed=N etc. Unknown flags abort with a usage
+/// message.
 struct BenchArgs {
   size_t rows = 0;        // 0 = binary default
   size_t queries = 0;     // 0 = binary default
   uint64_t seed = 42;
   bool paper_scale = false;
+  bool smoke = false;       // CI fast path: tiny sizes, same code paths
   double scale_factor = 0;  // TPC-H benches
 
   static BenchArgs Parse(int argc, char** argv);
 };
+
+/// Sizes `--smoke` substitutes for unset --rows/--queries/--sf: large enough
+/// to exercise cracking, reconstruction, and eviction paths, small enough
+/// that every bench binary doubles as a sub-second CTest smoke test.
+inline constexpr size_t kSmokeRows = 5'000;
+inline constexpr size_t kSmokeQueries = 5;
+inline constexpr double kSmokeScaleFactor = 0.01;
+
+/// Whether `--smoke` appears on the command line. For binaries (the
+/// examples) that take no other flags and so skip BenchArgs::Parse.
+bool SmokeRequested(int argc, char** argv);
 
 }  // namespace crackdb::bench
 

@@ -35,7 +35,9 @@ using Col = std::vector<Value>;
 
 RangePredicate Le(Value v) { return {kMinValue, v, true, true}; }
 RangePredicate Lt(Value v) { return {kMinValue, v, true, false}; }
-RangePredicate Ge(Value v) { return {v, kMaxValue, true, true}; }
+[[maybe_unused]] RangePredicate Ge(Value v) {
+  return {v, kMaxValue, true, true};
+}
 RangePredicate Gt(Value v) { return {v, kMaxValue, false, true}; }
 RangePredicate Between(Value lo, Value hi) { return {lo, hi, true, true}; }
 RangePredicate Point(Value v) { return RangePredicate::Point(v); }
