@@ -7,63 +7,21 @@
 #include "bench_util/workload.h"
 #include "common/rng.h"
 #include "engine/engine.h"
+#include "engine/engine_factory.h"
 #include "engine/partial_engine.h"
-#include "engine/plain_engine.h"
-#include "engine/presorted_engine.h"
-#include "engine/row_engine.h"
-#include "engine/selection_cracking_engine.h"
 #include "engine/sideways_engine.h"
 #include "storage/relation.h"
 
 namespace crackdb::bench {
 
-/// The one table every engine kind lives in: MakeEngine dispatches over it
-/// and build_sanity_test iterates it, so adding a kind here is the only way
-/// to make it reachable — and doing so automatically puts it under test.
-struct EngineKindEntry {
-  const char* name;
-  std::unique_ptr<Engine> (*make)(const Relation&);
-};
-
-inline constexpr EngineKindEntry kEngineKinds[] = {
-    {"plain",
-     [](const Relation& r) -> std::unique_ptr<Engine> {
-       return std::make_unique<PlainEngine>(r);
-     }},
-    {"presorted",
-     [](const Relation& r) -> std::unique_ptr<Engine> {
-       return std::make_unique<PresortedEngine>(r);
-     }},
-    {"selection-cracking",
-     [](const Relation& r) -> std::unique_ptr<Engine> {
-       return std::make_unique<SelectionCrackingEngine>(r);
-     }},
-    {"sideways",
-     [](const Relation& r) -> std::unique_ptr<Engine> {
-       return std::make_unique<SidewaysEngine>(r);
-     }},
-    {"partial",
-     [](const Relation& r) -> std::unique_ptr<Engine> {
-       return std::make_unique<PartialSidewaysEngine>(r);
-     }},
-    {"row",
-     [](const Relation& r) -> std::unique_ptr<Engine> {
-       return std::make_unique<RowEngine>(r, false);
-     }},
-    {"row-presorted",
-     [](const Relation& r) -> std::unique_ptr<Engine> {
-       return std::make_unique<RowEngine>(r, true);
-     }},
-};
-
-/// Engine factory shared by the figure-reproduction binaries.
-inline std::unique_ptr<Engine> MakeEngine(const std::string& kind,
-                                          const Relation& relation) {
-  for (const EngineKindEntry& entry : kEngineKinds) {
-    if (kind == entry.name) return entry.make(relation);
-  }
-  return nullptr;
-}
+/// The engine-kind table and factory moved into the library
+/// (engine/engine_factory.h) so the sharded execution layer can stamp out
+/// per-partition engines; the bench binaries keep their historical
+/// unqualified spellings.
+using ::crackdb::EngineKindEntry;
+using ::crackdb::kEngineKinds;
+using ::crackdb::MakeEngine;
+using ::crackdb::MakeEngineFactory;
 
 /// The Section 4.2 workload: an 11-attribute relation and five query types
 ///   (Qi) select Ci from R where v1 < A < v2 and v3 < Bi < v4

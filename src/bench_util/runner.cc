@@ -1,5 +1,6 @@
 #include "bench_util/runner.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,7 +32,54 @@ RunOutcome RunTimed(Engine* engine, const QuerySpec& spec, bool keep_result) {
   return outcome;
 }
 
-BenchArgs BenchArgs::Parse(int argc, char** argv) {
+namespace {
+
+/// The standard flags every bench binary accepts; PrintHelp generates the
+/// `--help` table from this plus the binary's own BenchFlag span, so the
+/// table can never drift from what Parse accepts.
+struct StandardFlag {
+  const char* name;
+  const char* help;
+};
+
+constexpr StandardFlag kStandardFlags[] = {
+    {"--rows=N", "relation size in tuples (default: per-binary)"},
+    {"--queries=N", "query-sequence length (default: per-binary)"},
+    {"--seed=N", "workload RNG seed (default: 42)"},
+    {"--sf=F", "TPC-H scale factor (TPC-H benches only)"},
+    {"--paper-scale", "the paper's full experiment sizes"},
+    {"--smoke",
+     "CI fast path: tiny sizes for unset flags, same code paths"},
+    {"--help", "this generated flags table"},
+};
+
+}  // namespace
+
+void BenchArgs::PrintHelp(const char* argv0, std::span<const BenchFlag> extra,
+                          std::FILE* out) {
+  std::fprintf(out, "usage: %s [flags]\n\nflags:\n", argv0);
+  size_t width = 0;
+  for (const StandardFlag& flag : kStandardFlags) {
+    width = std::max(width, std::strlen(flag.name));
+  }
+  for (const BenchFlag& flag : extra) {
+    width = std::max(width, std::strlen(flag.name));
+  }
+  for (const StandardFlag& flag : kStandardFlags) {
+    std::fprintf(out, "  %-*s  %s\n", static_cast<int>(width), flag.name,
+                 flag.help);
+  }
+  if (!extra.empty()) {
+    std::fprintf(out, "\nthis binary only:\n");
+    for (const BenchFlag& flag : extra) {
+      std::fprintf(out, "  %-*s  %s\n", static_cast<int>(width), flag.name,
+                   flag.help);
+    }
+  }
+}
+
+BenchArgs BenchArgs::Parse(int argc, char** argv,
+                           std::span<const BenchFlag> extra) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -47,12 +95,22 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.smoke = true;
     } else if (std::strncmp(a, "--sf=", 5) == 0) {
       args.scale_factor = std::atof(a + 5);
+    } else if (std::strcmp(a, "--help") == 0) {
+      PrintHelp(argv[0], extra, stdout);
+      std::exit(0);
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--rows=N] [--queries=N] [--seed=N] "
-                   "[--paper-scale] [--smoke] [--sf=F]\n",
-                   argv[0]);
-      std::exit(2);
+      bool consumed = false;
+      for (const BenchFlag& flag : extra) {
+        if (flag.parse(a)) {
+          consumed = true;
+          break;
+        }
+      }
+      if (!consumed) {
+        std::fprintf(stderr, "unknown flag: %s\n\n", a);
+        PrintHelp(argv[0], extra, stderr);
+        std::exit(2);
+      }
     }
   }
   // Smoke mode rides the existing "explicit flags beat binary defaults"

@@ -1,6 +1,9 @@
 #ifndef CRACKDB_BENCH_UTIL_RUNNER_H_
 #define CRACKDB_BENCH_UTIL_RUNNER_H_
 
+#include <cstdio>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,9 +30,20 @@ struct RunOutcome {
 RunOutcome RunTimed(Engine* engine, const QuerySpec& spec,
                     bool keep_result = false);
 
+/// One row of the generated `--help` flags table. Binaries with flags
+/// beyond the standard set pass a BenchFlag span to Parse: `name` is the
+/// grammar shown in the table ("--threads=LIST"), `help` the one-line
+/// description, and `parse` returns true iff it consumed the argv entry.
+struct BenchFlag {
+  const char* name;
+  const char* help;
+  std::function<bool(const char* arg)> parse;
+};
+
 /// Command-line parsing for the bench binaries: --rows=N --queries=N
-/// --paper-scale --smoke --seed=N etc. Unknown flags abort with a usage
-/// message.
+/// --paper-scale --smoke --seed=N etc. `--help` prints a generated table
+/// of every flag (standard plus per-bench `extra`) and exits 0; unknown
+/// flags print the same table to stderr and exit 2.
 struct BenchArgs {
   size_t rows = 0;        // 0 = binary default
   size_t queries = 0;     // 0 = binary default
@@ -38,7 +52,12 @@ struct BenchArgs {
   bool smoke = false;       // CI fast path: tiny sizes, same code paths
   double scale_factor = 0;  // TPC-H benches
 
-  static BenchArgs Parse(int argc, char** argv);
+  static BenchArgs Parse(int argc, char** argv,
+                         std::span<const BenchFlag> extra = {});
+
+  /// The generated flags table behind `--help`.
+  static void PrintHelp(const char* argv0, std::span<const BenchFlag> extra,
+                        std::FILE* out);
 };
 
 /// Sizes `--smoke` substitutes for unset --rows/--queries/--sf: large enough

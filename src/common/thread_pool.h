@@ -1,0 +1,58 @@
+#ifndef CRACKDB_COMMON_THREAD_POOL_H_
+#define CRACKDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crackdb {
+
+/// A fixed-size worker pool for fanning partition-local work out across
+/// cores. Deliberately minimal: FIFO queue, no work stealing, no priorities
+/// — the sharded execution layer submits one task per partition and joins,
+/// so queue depth stays near (clients × partitions) and fairness falls out
+/// of FIFO order.
+///
+/// Tasks must not block on the pool themselves (no nested ParallelFor from
+/// a worker thread): with all workers waiting, nobody would be left to run
+/// the nested tasks. The Database facade only submits from client threads.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 is allowed and means "no workers":
+  /// Submit still works (the task runs inline in the calling thread), which
+  /// gives single-threaded builds and tests one code path.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn`; the future becomes ready when it has run. Exceptions
+  /// propagate through the future.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(0..n-1), distributing across the workers; the calling thread
+  /// executes the first chunk itself so a saturated pool degrades to inline
+  /// execution instead of deadlocking the caller. Returns when all n are
+  /// done. Must not be called from a pool worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_COMMON_THREAD_POOL_H_

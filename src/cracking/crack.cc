@@ -107,7 +107,11 @@ CrackResult CrackOnPredicate(CrackPairs& store, CrackerIndex& index,
     if (!lo_known && !hi_known) {
       const CrackerIndex::Piece piece_lo = index.FindPiece(b_lo, n);
       const CrackerIndex::Piece piece_hi = index.FindPiece(b_hi, n);
-      if (piece_lo.begin == piece_hi.begin) {
+      // Same piece means same [begin, end) — comparing begin alone would
+      // conflate an empty piece (a bound below all stored values) with the
+      // non-empty piece starting at the same position, and crack-in-three
+      // over the empty range would then register both splits at its begin.
+      if (piece_lo.begin == piece_hi.begin && piece_lo.end == piece_hi.end) {
         // Both new bounds fall into the same piece: single-pass
         // crack-in-three (paper [7]).
         auto [mid_begin, hi_begin] =

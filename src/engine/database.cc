@@ -1,0 +1,125 @@
+#include "engine/database.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace crackdb {
+
+namespace {
+
+[[noreturn]] void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "database: %s: %s\n", what, detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Database::Database(DatabaseOptions options) {
+  size_t threads = options.pool_threads;
+  if (threads == DatabaseOptions::kPoolAuto) {
+    threads = std::thread::hardware_concurrency();
+  }
+  if (threads > 0) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void Database::RegisterSharded(const std::string& table,
+                               const Relation& source,
+                               const PartitionSpec& spec,
+                               const std::string& engine_kind) {
+  EngineFactory factory = MakeEngineFactory(engine_kind);
+  if (!factory) Die("unknown engine kind", engine_kind);
+
+  // Exclusive for the whole registration: partitioning creates relations
+  // in the shared catalog, which in-flight registrations of other tables
+  // would otherwise race on.
+  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  auto entry = std::make_unique<Table>(
+      Partitioner::Partition(&catalog_, source, spec));
+  entry->engine = std::make_unique<ShardedEngine>(
+      entry->relation, std::move(factory), pool_.get());
+  if (!tables_.emplace(table, std::move(entry)).second) {
+    Die("duplicate table", table);
+  }
+}
+
+QueryResult Database::Query(const std::string& table, const QuerySpec& spec) {
+  Table& t = FindTable(table);
+  t.queries.fetch_add(1, std::memory_order_relaxed);
+  // No table-level lock: the sharded engine locks partition by partition
+  // and merges outside the locks.
+  return t.engine->Run(spec);
+}
+
+Key Database::Insert(const std::string& table, std::span<const Value> values) {
+  Table& t = FindTable(table);
+  std::unique_lock<std::shared_mutex> writer(t.writer_mu);
+  const size_t target =
+      t.relation.PartitionOf(values[t.relation.organizing_ordinal()]);
+  std::unique_lock<std::shared_mutex> partition(
+      t.relation.partition_mutex(target));
+  const Key key = t.relation.AppendTo(target, values);
+  t.inserts.fetch_add(1, std::memory_order_relaxed);
+  return key;
+}
+
+bool Database::Delete(const std::string& table, Key global_key) {
+  Table& t = FindTable(table);
+  std::unique_lock<std::shared_mutex> writer(t.writer_mu);
+  const std::optional<PartitionedRelation::Location> loc =
+      t.relation.Locate(global_key);
+  if (!loc.has_value()) return false;
+  std::unique_lock<std::shared_mutex> partition(
+      t.relation.partition_mutex(loc->partition));
+  if (!t.relation.Delete(global_key)) return false;
+  t.deletes.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+TableStats Database::Stats(const std::string& table) const {
+  Table& t = FindTable(table);
+  TableStats stats;
+  stats.engine = t.engine->name();
+  stats.partitions = t.relation.num_partitions();
+  for (size_t i = 0; i < t.relation.num_partitions(); ++i) {
+    // Shared: consistent per-partition snapshot that excludes writers and
+    // cracking readers but runs concurrently with other snapshots.
+    std::shared_lock<std::shared_mutex> lock(t.relation.partition_mutex(i));
+    const Relation& part = t.relation.partition(i);
+    stats.rows += part.num_rows();
+    stats.live_rows += part.num_live_rows();
+    stats.deleted += part.num_deleted();
+  }
+  stats.queries = t.queries.load(std::memory_order_relaxed);
+  stats.inserts = t.inserts.load(std::memory_order_relaxed);
+  stats.deletes = t.deletes.load(std::memory_order_relaxed);
+  stats.cost = t.engine->CostSnapshot();
+  return stats;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+ShardedEngine& Database::engine(const std::string& table) {
+  return *FindTable(table).engine;
+}
+
+PartitionedRelation& Database::partitions(const std::string& table) {
+  return FindTable(table).relation;
+}
+
+Database::Table& Database::FindTable(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) Die("unknown table", table);
+  return *it->second;
+}
+
+}  // namespace crackdb

@@ -1,0 +1,141 @@
+#ifndef CRACKDB_ENGINE_DATABASE_H_
+#define CRACKDB_ENGINE_DATABASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "engine/sharded_engine.h"
+#include "storage/catalog.h"
+#include "storage/partitioner.h"
+
+namespace crackdb {
+
+struct DatabaseOptions {
+  /// Pool auto-size sentinel: one worker per hardware thread.
+  static constexpr size_t kPoolAuto = static_cast<size_t>(-1);
+
+  /// Workers in the shared fan-out pool. kPoolAuto = hardware concurrency;
+  /// 0 = no pool, partition sub-queries run sequentially on the client
+  /// thread — the throughput-serving configuration where many client
+  /// threads are themselves the parallelism (see bench_concurrent_
+  /// throughput).
+  size_t pool_threads = kPoolAuto;
+};
+
+/// View of one table. Each partition is read under its shared lock, so no
+/// value reflects a half-applied write or mid-crack state; partitions are
+/// visited one at a time, though, so under live traffic the totals (and
+/// the op counters, which are read without locks) are not one global
+/// atomic snapshot — `rows == initial + inserts` holds exactly only in
+/// quiescence.
+struct TableStats {
+  std::string engine;
+  size_t partitions = 0;
+  size_t rows = 0;       // global keys ever issued
+  size_t live_rows = 0;  // minus tombstones
+  size_t deleted = 0;
+  uint64_t queries = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  /// Summed per-partition cost breakdown (select/reconstruct/prepare).
+  CostBreakdown cost;
+};
+
+/// The thread-safe serving facade over the partitioned execution layer:
+/// owns the Catalog, the shared ThreadPool, and per table a
+/// PartitionedRelation plus a ShardedEngine of the chosen kind.
+///
+/// Every public method is safe to call from any number of client threads
+/// concurrently. The discipline (documented in docs/ARCHITECTURE.md):
+///
+///   - queries take no table-level lock at all; the ShardedEngine locks
+///     each partition exclusively only while cracking it and merges
+///     results outside the locks;
+///   - writers (Insert/Delete) serialize per table on `writer_mu` (which
+///     also guards the global-key router) and then take only the target
+///     partition's exclusive lock, so a writer never blocks queries on
+///     the other partitions;
+///   - Stats takes the per-partition locks *shared*, giving concurrent,
+///     consistent snapshots that exclude writers and cracking readers.
+///
+/// Lock order is always: tables map -> writer_mu -> partition mutex, and
+/// queries skip the first two levels, so the hierarchy is cycle-free.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Shards `source` into `spec.num_partitions` partition relations
+  /// registered in catalog() (named `<source>#p<i>`) and serves `table`
+  /// from one `engine_kind` engine per partition (any engine_factory.h
+  /// kind). Global keys equal source keys; tombstones are replicated.
+  /// Dies on duplicate table names or unknown engine kinds. Not
+  /// thread-safe against in-flight operations on the same table name;
+  /// registration is expected at startup (concurrent registration of
+  /// *different* tables is fine).
+  void RegisterSharded(const std::string& table, const Relation& source,
+                       const PartitionSpec& spec,
+                       const std::string& engine_kind);
+
+  /// Evaluates `spec` across the table's partitions; results merge outside
+  /// the partition locks. Identical rows (as a multiset) to running the
+  /// same spec on an unsharded engine over the source relation.
+  QueryResult Query(const std::string& table, const QuerySpec& spec);
+
+  /// Routes one tuple to its partition by the organizing attribute and
+  /// appends it; returns the global key. Per-partition engines merge the
+  /// insert lazily on their next relevant query (pending/ripple).
+  Key Insert(const std::string& table, std::span<const Value> values);
+
+  /// Tombstones the row with this global key. False if unknown or already
+  /// dead.
+  bool Delete(const std::string& table, Key global_key);
+
+  TableStats Stats(const std::string& table) const;
+
+  std::vector<std::string> table_names() const;
+
+  /// Direct access to the table's engine and partitions, for tests and
+  /// benches. The caller must follow the locking discipline when touching
+  /// them concurrently with serving traffic.
+  ShardedEngine& engine(const std::string& table);
+  PartitionedRelation& partitions(const std::string& table);
+
+  Catalog& catalog() { return catalog_; }
+  ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  struct Table {
+    explicit Table(PartitionedRelation r) : relation(std::move(r)) {}
+
+    PartitionedRelation relation;
+    std::unique_ptr<ShardedEngine> engine;
+    /// Serializes writers per table and guards the global-key router
+    /// (Append/Delete/Locate on `relation`).
+    mutable std::shared_mutex writer_mu;
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> deletes{0};
+  };
+
+  Table& FindTable(const std::string& table) const;
+
+  Catalog catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::shared_mutex tables_mu_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ENGINE_DATABASE_H_

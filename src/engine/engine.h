@@ -97,7 +97,9 @@ class Engine {
 
   /// Convenience: Select + Fetch of every projection, with generic cost
   /// attribution (Select = selection cost, Fetch = reconstruction cost).
-  QueryResult Run(const QuerySpec& spec);
+  /// Virtual so composite engines (sharding) can fan the whole query out
+  /// and attribute per-partition costs precisely.
+  virtual QueryResult Run(const QuerySpec& spec);
 
   CostBreakdown& cost() { return cost_; }
   const CostBreakdown& cost() const { return cost_; }

@@ -1,0 +1,24 @@
+#include "engine/engine_factory.h"
+
+namespace crackdb {
+
+std::unique_ptr<Engine> MakeEngine(const std::string& kind,
+                                   const Relation& relation) {
+  for (const EngineKindEntry& entry : kEngineKinds) {
+    if (kind == entry.name) return entry.make(relation);
+  }
+  return nullptr;
+}
+
+EngineFactory MakeEngineFactory(const std::string& kind) {
+  for (const EngineKindEntry& entry : kEngineKinds) {
+    if (kind == entry.name) {
+      return [make = entry.make](const Relation& relation) {
+        return make(relation);
+      };
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace crackdb

@@ -1,0 +1,72 @@
+#ifndef CRACKDB_ENGINE_ENGINE_FACTORY_H_
+#define CRACKDB_ENGINE_ENGINE_FACTORY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "engine/partial_engine.h"
+#include "engine/plain_engine.h"
+#include "engine/presorted_engine.h"
+#include "engine/row_engine.h"
+#include "engine/selection_cracking_engine.h"
+#include "engine/sideways_engine.h"
+#include "storage/relation.h"
+
+namespace crackdb {
+
+/// The one table every engine kind lives in: MakeEngine dispatches over it,
+/// build_sanity_test and sharded_engine_test iterate it, and the sharded
+/// execution layer instantiates per-partition engines through it — adding a
+/// kind here is the only way to make it reachable, and doing so
+/// automatically puts it under test (unsharded and sharded).
+struct EngineKindEntry {
+  const char* name;
+  std::unique_ptr<Engine> (*make)(const Relation&);
+};
+
+inline constexpr EngineKindEntry kEngineKinds[] = {
+    {"plain",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<PlainEngine>(r);
+     }},
+    {"presorted",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<PresortedEngine>(r);
+     }},
+    {"selection-cracking",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<SelectionCrackingEngine>(r);
+     }},
+    {"sideways",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<SidewaysEngine>(r);
+     }},
+    {"partial",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<PartialSidewaysEngine>(r);
+     }},
+    {"row",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<RowEngine>(r, false);
+     }},
+    {"row-presorted",
+     [](const Relation& r) -> std::unique_ptr<Engine> {
+       return std::make_unique<RowEngine>(r, true);
+     }},
+};
+
+/// Builds an engine of `kind` over `relation`; nullptr for unknown kinds.
+std::unique_ptr<Engine> MakeEngine(const std::string& kind,
+                                   const Relation& relation);
+
+/// Per-partition constructor used by the sharded layer: binds `kind` so a
+/// ShardedEngine can stamp out one instance per partition relation. Null
+/// (empty std::function) for unknown kinds.
+using EngineFactory = std::function<std::unique_ptr<Engine>(const Relation&)>;
+EngineFactory MakeEngineFactory(const std::string& kind);
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ENGINE_ENGINE_FACTORY_H_

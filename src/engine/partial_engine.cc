@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "engine/plain_engine.h"
+
 namespace crackdb {
 
 namespace {
@@ -97,8 +99,14 @@ size_t PartialSidewaysEngine::ChooseHeadSelection(const QuerySpec& spec) {
 
 std::unique_ptr<SelectionHandle> PartialSidewaysEngine::Select(
     const QuerySpec& spec) {
-  assert(!spec.disjunctive &&
-         "partial sideways engine serves conjunctive queries");
+  if (spec.disjunctive && spec.selections.size() > 1) {
+    // No single head range to chunk on (see the header's scope note):
+    // answer from the base columns. A release build used to silently
+    // return the *conjunction* here, which the sharded facade's
+    // route-anything contract turned from a latent trap into a live bug.
+    PlainEngine fallback(*relation_);
+    return fallback.Select(spec);
+  }
   PartialQueryRequest request;
   std::string head_attr;
   if (spec.selections.empty()) {

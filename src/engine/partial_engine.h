@@ -16,10 +16,12 @@ namespace crackdb {
 /// the chunks the workload demands, under a storage budget shared across
 /// all sets of the engine. Queries execute chunk-wise.
 ///
-/// Scope note: conjunctive queries only — the paper evaluates partial maps
-/// on conjunctive workloads (Figures 9-13); disjunctions over partial maps
-/// would require materializing every area and are served by the full-map
-/// engine instead.
+/// Scope note: partial maps accelerate conjunctive queries — the paper
+/// evaluates them on conjunctive workloads (Figures 9-13), and a
+/// disjunction has no single head range to chunk on. Disjunctive specs are
+/// answered correctly via a base-column scan (plain-engine path) instead
+/// of through the maps, so the engine is drop-in safe behind the serving
+/// facade, which routes arbitrary query shapes.
 class PartialSidewaysEngine : public Engine {
  public:
   explicit PartialSidewaysEngine(const Relation& relation,

@@ -1,0 +1,87 @@
+#ifndef CRACKDB_ENGINE_SHARDED_ENGINE_H_
+#define CRACKDB_ENGINE_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "engine/engine_factory.h"
+#include "storage/partitioner.h"
+
+namespace crackdb {
+
+/// Partitioned execution over any engine kind: owns one per-partition
+/// engine instance (stamped out by an EngineFactory) and evaluates a
+/// QuerySpec by fanning partition-local sub-queries out across a
+/// ThreadPool, then merging the per-partition results and summing the
+/// per-partition CostBreakdowns.
+///
+/// Concurrency contract — this is the one engine that IS safe to call from
+/// many client threads at once:
+///  - cracking engines reorganize their auxiliary structures *during
+///    reads*, so every partition sub-query runs under that partition's
+///    exclusive lock (PartitionedRelation::partition_mutex); two clients
+///    touching disjoint partitions proceed in parallel, two clients
+///    cracking the same partition serialize;
+///  - all projected attributes are materialized inside the lock (the spec's
+///    `projections` declaration is binding, as for the chunk-wise engines),
+///    so the returned SelectionHandle owns plain value vectors and stays
+///    valid however long the caller holds it — result *merging* happens
+///    outside every lock;
+///  - writers (the Database facade's insert/delete paths) take the same
+///    per-partition locks exclusively, statistics snapshots take them
+///    shared. See docs/ARCHITECTURE.md, "Locking discipline".
+///
+/// Range sharding on the organizing attribute additionally prunes
+/// partitions whose slice cannot intersect a conjunctive selection on that
+/// attribute (hash sharding prunes point predicates), so a converged
+/// sharded cracker answers a selective query by locking a single
+/// partition.
+class ShardedEngine : public Engine {
+ public:
+  /// `pool` may be null: partition sub-queries then run sequentially on
+  /// the calling thread (still under the per-partition locks, so
+  /// multi-client safety is unchanged; this is the throughput-serving
+  /// configuration where client threads themselves are the parallelism).
+  ShardedEngine(const PartitionedRelation& relation, EngineFactory factory,
+                ThreadPool* pool = nullptr);
+
+  std::string name() const override;
+
+  std::unique_ptr<SelectionHandle> Select(const QuerySpec& spec) override;
+  QueryResult Run(const QuerySpec& spec) override;
+
+  size_t num_partitions() const { return engines_.size(); }
+  Engine& partition_engine(size_t i) { return *engines_[i]; }
+
+  /// Partitions a conjunctive/disjunctive spec cannot rule out; exposed
+  /// for tests and the bench reporting.
+  std::vector<size_t> TargetPartitions(const QuerySpec& spec) const;
+
+  /// Thread-safe copy of the summed cost breakdown. (The inherited cost()
+  /// reference is only safe to read when no query is in flight.)
+  CostBreakdown CostSnapshot() const;
+
+ private:
+  struct ShardResult {
+    std::vector<std::vector<Value>> columns;  // aligned with projections
+    size_t num_rows = 0;
+  };
+
+  /// Runs the per-partition sub-queries (locked, materialized) and sums
+  /// their cost deltas into cost_. Returns one ShardResult per target
+  /// partition.
+  std::vector<ShardResult> ExecuteShards(const QuerySpec& spec);
+
+  const PartitionedRelation* relation_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  ThreadPool* pool_;
+  mutable std::mutex cost_mu_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ENGINE_SHARDED_ENGINE_H_

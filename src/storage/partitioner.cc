@@ -1,0 +1,207 @@
+#include "storage/partitioner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace crackdb {
+
+namespace {
+
+[[noreturn]] void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "partitioner: %s: %s\n", what, detail.c_str());
+  std::abort();
+}
+
+/// splitmix64 finalizer: full-avalanche mixing so that dense integer
+/// domains (the common case here) still spread across partitions.
+uint64_t MixHash(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// True when no integer value can satisfy `pred` (values are int64, so
+/// exclusive bounds normalize to closed form: the open interval (v, v+1)
+/// is empty).
+bool PredicateEmpty(const RangePredicate& pred) {
+  Value lo = pred.low;
+  if (!pred.low_inclusive) {
+    if (lo == kMaxValue) return true;
+    ++lo;
+  }
+  Value hi = pred.high;
+  if (!pred.high_inclusive) {
+    if (hi == kMinValue) return true;
+    --hi;
+  }
+  return lo > hi;
+}
+
+}  // namespace
+
+PartitionedRelation::PartitionedRelation(std::string name, PartitionSpec spec,
+                                         std::vector<Relation*> partitions,
+                                         size_t organizing_ordinal)
+    : name_(std::move(name)),
+      spec_(std::move(spec)),
+      partitions_(std::move(partitions)),
+      organizing_ordinal_(organizing_ordinal) {
+  if (partitions_.empty()) Die("no partitions", name_);
+  mutexes_.reserve(partitions_.size());
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    mutexes_.push_back(std::make_unique<MutexBox>());
+  }
+  if (spec_.kind == PartitionSpec::Kind::kRange) {
+    if (spec_.domain_lo > spec_.domain_hi) {
+      Die("range partitioning needs domain_lo <= domain_hi", name_);
+    }
+    const size_t n = partitions_.size();
+    // Even split of [lo, hi] into n slices; the first `remainder` slices
+    // are one value wider. Unsigned arithmetic sidesteps signed overflow;
+    // a full-int64 domain (width wraps to 0) gets equal 2^64/n slices.
+    const uint64_t width_total = static_cast<uint64_t>(spec_.domain_hi) -
+                                 static_cast<uint64_t>(spec_.domain_lo) + 1;
+    uint64_t slice = width_total / n;
+    uint64_t remainder = width_total % n;
+    if (width_total == 0) {  // wrapped: 2^64 values
+      slice = ~0ull / n;
+      remainder = 0;
+    }
+    slice_starts_.resize(n);
+    uint64_t start = static_cast<uint64_t>(spec_.domain_lo);
+    for (size_t i = 0; i < n; ++i) {
+      slice_starts_[i] = static_cast<Value>(start);
+      start += slice + (i < remainder ? 1 : 0);
+    }
+  }
+}
+
+size_t PartitionedRelation::PartitionOf(Value organizing_value) const {
+  const size_t n = partitions_.size();
+  if (n == 1) return 0;
+  if (spec_.kind == PartitionSpec::Kind::kHash) {
+    return static_cast<size_t>(
+        MixHash(static_cast<uint64_t>(organizing_value)) % n);
+  }
+  const Value v =
+      std::clamp(organizing_value, spec_.domain_lo, spec_.domain_hi);
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(slice_starts_.begin(), slice_starts_.end(), v) -
+      slice_starts_.begin() - 1);
+  // Degenerate zero-width slices (more partitions than domain values)
+  // produce duplicate starts; route to the first of the run so the others
+  // stay provably empty for MayContain.
+  while (idx > 0 && slice_starts_[idx] == slice_starts_[idx - 1]) --idx;
+  return idx;
+}
+
+bool PartitionedRelation::MayContain(size_t i,
+                                     const RangePredicate& pred) const {
+  if (PredicateEmpty(pred)) return false;
+  const size_t n = partitions_.size();
+  if (n == 1) return true;
+  if (spec_.kind == PartitionSpec::Kind::kHash) {
+    // Only point predicates route deterministically under hashing.
+    if (pred.low == pred.high) return PartitionOf(pred.low) == i;
+    return true;
+  }
+  // Effective cover of slice i: its [start, next_start) range, widened to
+  // -inf / +inf at the edges because PartitionOf clamps out-of-domain
+  // values into the edge partitions. With more partitions than domain
+  // values, trailing slices start beyond domain_hi and are unreachable
+  // (clamping routes everything above the domain into the slice holding
+  // domain_hi), so the +inf widening belongs to that slice, not to index
+  // n-1.
+  if (i + 1 < n && slice_starts_[i] == slice_starts_[i + 1]) {
+    return false;  // zero-width slice: provably empty
+  }
+  if (i > 0 && slice_starts_[i] > spec_.domain_hi) {
+    return false;  // starts beyond the domain: unreachable by clamping
+  }
+  const bool effectively_last =
+      i + 1 == n || slice_starts_[i + 1] > spec_.domain_hi;
+  const Value cover_lo = i == 0 ? kMinValue : slice_starts_[i];
+  const Value cover_hi =
+      effectively_last ? kMaxValue : slice_starts_[i + 1] - 1;
+  if (pred.high < cover_lo || (pred.high == cover_lo && !pred.high_inclusive)) {
+    return false;
+  }
+  if (pred.low > cover_hi || (pred.low == cover_hi && !pred.low_inclusive)) {
+    return false;
+  }
+  return true;
+}
+
+Key PartitionedRelation::Append(std::span<const Value> values) {
+  return AppendTo(PartitionOf(values[organizing_ordinal_]), values);
+}
+
+Key PartitionedRelation::AppendTo(size_t target,
+                                  std::span<const Value> values) {
+  const Key local = partitions_[target]->AppendRow(values);
+  key_map_.push_back({static_cast<uint32_t>(target), local});
+  return static_cast<Key>(key_map_.size() - 1);
+}
+
+bool PartitionedRelation::Delete(Key global_key) {
+  const std::optional<Location> loc = Locate(global_key);
+  if (!loc.has_value()) return false;
+  Relation& part = *partitions_[loc->partition];
+  if (part.IsDeleted(loc->local_key)) return false;
+  part.DeleteRow(loc->local_key);
+  return true;
+}
+
+std::optional<PartitionedRelation::Location> PartitionedRelation::Locate(
+    Key global_key) const {
+  if (global_key >= key_map_.size()) return std::nullopt;
+  return key_map_[global_key];
+}
+
+size_t PartitionedRelation::num_live_rows() const {
+  size_t live = 0;
+  for (const Relation* part : partitions_) live += part->num_live_rows();
+  return live;
+}
+
+PartitionedRelation Partitioner::Partition(Catalog* catalog,
+                                           const Relation& source,
+                                           const PartitionSpec& spec) {
+  if (spec.num_partitions == 0) Die("num_partitions must be >= 1", spec.column);
+  const size_t organizing = source.ColumnOrdinal(spec.column);
+
+  std::vector<Relation*> partitions;
+  partitions.reserve(spec.num_partitions);
+  for (size_t i = 0; i < spec.num_partitions; ++i) {
+    Relation& part = catalog->CreateRelation(source.name() + "#p" +
+                                             std::to_string(i));
+    for (const std::string& column : source.column_names()) {
+      part.AddColumn(column);
+    }
+    partitions.push_back(&part);
+  }
+
+  PartitionedRelation result(source.name(), spec, std::move(partitions),
+                             organizing);
+
+  const size_t num_columns = source.num_columns();
+  std::vector<Value> row(num_columns);
+  for (size_t key = 0; key < source.num_rows(); ++key) {
+    for (size_t c = 0; c < num_columns; ++c) row[c] = source.column(c)[key];
+    const size_t target = result.PartitionOf(row[organizing]);
+    Relation& part = *result.partitions_[target];
+    const Key local = part.BulkLoadRow(row);
+    result.key_map_.push_back(
+        {static_cast<uint32_t>(target), local});
+    // Replicate tombstones so global key k answers exactly like source key
+    // k. The logged delete event is harmless: engines are built later and
+    // start their pending-update watermarks at the then-current log
+    // version.
+    if (source.IsDeleted(static_cast<Key>(key))) part.DeleteRow(local);
+  }
+  return result;
+}
+
+}  // namespace crackdb
