@@ -47,25 +47,6 @@ struct ThroughputOptions {
   size_t point_pct = 10;
 };
 
-std::vector<size_t> ParseList(const char* s) {
-  std::vector<size_t> out;
-  for (const char* p = s; *p != '\0';) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(p, &end, 10);
-    if (end == p || v == 0 || (*end != ',' && *end != '\0')) {
-      std::fprintf(stderr,
-                   "--threads wants a comma list of positive counts, got "
-                   "'%s'\n",
-                   s);
-      std::exit(2);
-    }
-    out.push_back(static_cast<size_t>(v));
-    if (*end == '\0') break;
-    p = end + 1;
-  }
-  return out;
-}
-
 PartitionSpec MakeSpec(const ThroughputOptions& opt) {
   PartitionSpec spec;
   spec.kind = PartitionSpec::Kind::kRange;
@@ -77,11 +58,13 @@ PartitionSpec MakeSpec(const ThroughputOptions& opt) {
 }
 
 /// One client's workload: `ops` operations of mixed traffic, returning the
-/// number of queries it issued and a checksum keeping the work observable.
+/// number of queries it issued, per-op latencies, and a checksum keeping
+/// the work observable.
 struct ClientResult {
   size_t queries = 0;
   size_t updates = 0;
   uint64_t checksum = 0;
+  std::vector<double> latencies_micros;  // one sample per op
 };
 
 ClientResult RunClient(Database* db, size_t rows, uint64_t seed, size_t ops,
@@ -96,19 +79,27 @@ ClientResult RunClient(Database* db, size_t rows, uint64_t seed, size_t ops,
   const double selectivity =
       std::min(0.01, 2'000.0 / static_cast<double>(rows));
 
+  result.latencies_micros.reserve(ops);
   for (size_t op = 0; op < ops; ++op) {
     const double dice = rng.NextDouble();
     if (dice < update_p) {
       ++result.updates;
+      // Time only the Database call: row generation and key bookkeeping
+      // are workload-harness work, not serving latency.
       if (own_keys.size() >= 4 && rng.Bernoulli(0.5)) {
         const size_t pick = static_cast<size_t>(
             rng.Uniform(0, static_cast<Value>(own_keys.size()) - 1));
+        Timer op_timer;
         db->Delete("R", own_keys[pick]);
+        result.latencies_micros.push_back(op_timer.ElapsedMicros());
         own_keys.erase(own_keys.begin() + static_cast<long>(pick));
       } else {
         std::vector<Value> row(7);
         for (Value& v : row) v = rng.Uniform(1, kDomain);
-        own_keys.push_back(db->Insert("R", row));
+        Timer op_timer;
+        const Key key = db->Insert("R", row);
+        result.latencies_micros.push_back(op_timer.ElapsedMicros());
+        own_keys.push_back(key);
       }
       continue;
     }
@@ -124,21 +115,13 @@ ClientResult RunClient(Database* db, size_t rows, uint64_t seed, size_t ops,
            RandomRange(&rng, 1, kDomain, 0.5)}};
       spec.projections = {AttrName(7)};
     }
+    Timer op_timer;
     const QueryResult r = db->Query("R", spec);
+    result.latencies_micros.push_back(op_timer.ElapsedMicros());
     result.checksum += r.num_rows;
     ++result.queries;
   }
   return result;
-}
-
-std::multiset<std::vector<Value>> ZipRows(const QueryResult& r) {
-  std::multiset<std::vector<Value>> out;
-  for (size_t i = 0; i < r.num_rows; ++i) {
-    std::vector<Value> row;
-    for (const auto& col : r.columns) row.push_back(col[i]);
-    out.insert(row);
-  }
-  return out;
 }
 
 /// Answers must match a plain scan before any timing is trusted; also
@@ -207,7 +190,8 @@ void Run(const BenchArgs& args, const ThroughputOptions& opt) {
                "queries_per_sec");
   SeriesHeader("sharded-" + effective.engine);
   TablePrinter table({"threads", "queries", "updates", "elapsed_s",
-                      "queries/sec", "speedup"});
+                      "queries/sec", "speedup", "p50_us", "p95_us",
+                      "p99_us"});
   double qps_at_1 = 0;
   for (const size_t clients : sweep) {
     // A fresh facade per point: every sweep entry starts from uncracked
@@ -237,17 +221,23 @@ void Run(const BenchArgs& args, const ThroughputOptions& opt) {
 
     size_t queries = 0, updates = 0;
     uint64_t checksum = 0;
-    for (const ClientResult& r : results) {
+    std::vector<double> latencies;
+    for (ClientResult& r : results) {
       queries += r.queries;
       updates += r.updates;
       checksum += r.checksum;
+      latencies.insert(latencies.end(), r.latencies_micros.begin(),
+                       r.latencies_micros.end());
     }
+    const LatencySummary lat = SummarizeLatencies(latencies);
     const double qps = static_cast<double>(queries) / elapsed;
     if (qps_at_1 == 0) qps_at_1 = qps;
     Point(static_cast<double>(clients), qps);
     table.AddRow({std::to_string(clients), std::to_string(queries),
                   std::to_string(updates), Fmt(elapsed, 3), Fmt(qps, 0),
-                  qps_at_1 > 0 ? Fmt(qps / qps_at_1, 2) : "-"});
+                  qps_at_1 > 0 ? Fmt(qps / qps_at_1, 2) : "-",
+                  Fmt(lat.p50_micros, 1), Fmt(lat.p95_micros, 1),
+                  Fmt(lat.p99_micros, 1)});
     const TableStats stats = db.Stats("R");
     std::printf("# clients=%zu checksum=%llu stats: rows=%zu live=%zu\n",
                 clients, static_cast<unsigned long long>(checksum),
@@ -267,7 +257,7 @@ int main(int argc, char** argv) {
       {"--threads=LIST", "comma list of client-thread counts (default 1,2,4,8)",
        [&opt](const char* a) {
          if (std::strncmp(a, "--threads=", 10) != 0) return false;
-         opt.threads = crackdb::bench::ParseList(a + 10);
+         opt.threads = crackdb::bench::ParseSizeList("--threads", a + 10);
          return true;
        }},
       {"--partitions=N", "partition count for the sharded table (default 16)",

@@ -36,6 +36,22 @@ class TablePrinter {
 
 std::string Fmt(double v, int precision = 2);
 
+/// Percentile summary of per-op latency samples, for printing alongside
+/// aggregate throughput (bench_concurrent_throughput, bench_batch_
+/// pipeline). Percentiles are nearest-rank over the sorted samples.
+struct LatencySummary {
+  size_t count = 0;
+  double mean_micros = 0;
+  double p50_micros = 0;
+  double p95_micros = 0;
+  double p99_micros = 0;
+  double max_micros = 0;
+};
+
+/// Sorts `samples_micros` in place and summarizes it. An empty sample set
+/// yields an all-zero summary.
+LatencySummary SummarizeLatencies(std::vector<double>& samples_micros);
+
 }  // namespace crackdb::bench
 
 #endif  // CRACKDB_BENCH_UTIL_REPORT_H_

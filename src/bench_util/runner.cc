@@ -123,6 +123,24 @@ BenchArgs BenchArgs::Parse(int argc, char** argv,
   return args;
 }
 
+std::vector<size_t> ParseSizeList(const char* flag, const char* s) {
+  std::vector<size_t> out;
+  for (const char* p = s; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p || v == 0 || (*end != ',' && *end != '\0')) {
+      std::fprintf(stderr,
+                   "%s wants a comma list of positive counts, got '%s'\n",
+                   flag, s);
+      std::exit(2);
+    }
+    out.push_back(static_cast<size_t>(v));
+    if (*end == '\0') break;
+    p = end + 1;
+  }
+  return out;
+}
+
 bool SmokeRequested(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return true;

@@ -71,6 +71,11 @@ inline constexpr double kSmokeScaleFactor = 0.01;
 /// examples) that take no other flags and so skip BenchArgs::Parse.
 bool SmokeRequested(int argc, char** argv);
 
+/// Parses a comma list of positive counts ("1,2,8") for sweep flags like
+/// --threads / --batch. `flag` names the flag in the error message; exits
+/// 2 on malformed input.
+std::vector<size_t> ParseSizeList(const char* flag, const char* s);
+
 }  // namespace crackdb::bench
 
 #endif  // CRACKDB_BENCH_UTIL_RUNNER_H_

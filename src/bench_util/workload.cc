@@ -72,4 +72,15 @@ size_t ApplyRandomUpdates(Relation* relation, Value domain, size_t count,
   return applied;
 }
 
+std::multiset<std::vector<Value>> ZipRows(const QueryResult& r) {
+  std::multiset<std::vector<Value>> out;
+  for (size_t i = 0; i < r.num_rows; ++i) {
+    std::vector<Value> row;
+    row.reserve(r.columns.size());
+    for (const std::vector<Value>& col : r.columns) row.push_back(col[i]);
+    out.insert(row);
+  }
+  return out;
+}
+
 }  // namespace crackdb::bench

@@ -2,11 +2,13 @@
 #define CRACKDB_BENCH_UTIL_WORKLOAD_H_
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "engine/engine.h"
 #include "storage/catalog.h"
 #include "storage/relation.h"
 
@@ -49,6 +51,11 @@ struct SkewedRangeGen {
 /// the paper's model). Returns the number of events logged.
 size_t ApplyRandomUpdates(Relation* relation, Value domain, size_t count,
                           Rng* rng);
+
+/// A result's rows as an order-insensitive multiset — the standard
+/// cross-engine comparison form used throughout the tests and benches
+/// (engines legitimately return rows in different physical orders).
+std::multiset<std::vector<Value>> ZipRows(const QueryResult& r);
 
 }  // namespace crackdb::bench
 

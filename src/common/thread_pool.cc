@@ -1,13 +1,25 @@
 #include "common/thread_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace crackdb {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+namespace {
+
+/// Set for the duration of a worker's life, so blocking entry points can
+/// tell "called from inside this pool" apart from client threads (and from
+/// workers of *other* pools, which are safe to block on).
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads, bool affine)
+    : affine_(affine), queues_(num_threads) {
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -20,22 +32,45 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
+
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  return Submit(kNoAffinity, std::move(fn));
+}
+
+std::future<void> ThreadPool::Submit(size_t affinity,
+                                     std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   if (workers_.empty()) {
     task();  // no workers: degrade to inline execution
     return future;
   }
+  const size_t home =
+      (affine_ && affinity != kNoAffinity)
+          ? affinity % workers_.size()
+          : round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                workers_.size();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queues_[home].push_back(std::move(task));
+    ++pending_;
   }
+  // Any waiting worker may take it: the home worker FIFO, anyone else by
+  // stealing — so one wakeup suffices for progress.
   cv_.notify_one();
   return future;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (InWorkerThread()) {
+    std::fprintf(stderr,
+                 "ThreadPool::ParallelFor called from a worker of the same "
+                 "pool; nested blocking would deadlock once every worker "
+                 "waits. Submit fire-and-forget tasks instead, or run the "
+                 "loop inline.\n");
+    std::abort();
+  }
   if (n == 0) return;
   if (n == 1 || workers_.empty()) {
     for (size_t i = 0; i < n; ++i) fn(i);
@@ -44,7 +79,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   std::vector<std::future<void>> futures;
   futures.reserve(n - 1);
   for (size_t i = 1; i < n; ++i) {
-    futures.push_back(Submit([&fn, i] { fn(i); }));
+    futures.push_back(Submit(i, [&fn, i] { fn(i); }));
   }
   // The caller contributes a core instead of idling on the join. Every
   // future is drained before any exception propagates: queued tasks hold
@@ -66,15 +101,34 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_pool = this;
+  const size_t n = queues_.size();
   for (;;) {
     std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+      if (pending_ == 0) return;  // stopping_ and every queue drained
+      std::deque<std::packaged_task<void()>>& own = queues_[worker_index];
+      if (!own.empty()) {
+        // Home queue drains FIFO: oldest affine task first.
+        task = std::move(own.front());
+        own.pop_front();
+      } else {
+        // Steal the *newest* task from the first non-empty victim: the
+        // victim keeps its oldest (likely already cache-resident) work.
+        for (size_t k = 1; k < n; ++k) {
+          std::deque<std::packaged_task<void()>>& victim =
+              queues_[(worker_index + k) % n];
+          if (!victim.empty()) {
+            task = std::move(victim.back());
+            victim.pop_back();
+            break;
+          }
+        }
+      }
+      --pending_;
     }
     task();
   }

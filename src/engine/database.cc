@@ -22,7 +22,16 @@ Database::Database(DatabaseOptions options) {
   if (threads == DatabaseOptions::kPoolAuto) {
     threads = std::thread::hardware_concurrency();
   }
-  if (threads > 0) pool_ = std::make_unique<ThreadPool>(threads);
+  if (threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(threads, options.affine_scheduling);
+  }
+}
+
+Database::~Database() {
+  // Members destroy in reverse declaration order, which would tear the
+  // tables down while queued async tasks still reference them; join the
+  // pool first (its destructor drains the queues).
+  pool_.reset();
 }
 
 void Database::RegisterSharded(const std::string& table,
@@ -49,33 +58,104 @@ QueryResult Database::Query(const std::string& table, const QuerySpec& spec) {
   Table& t = FindTable(table);
   t.queries.fetch_add(1, std::memory_order_relaxed);
   // No table-level lock: the sharded engine locks partition by partition
-  // and merges outside the locks.
+  // and merges outside the locks. Run is the batch pipeline with one spec.
   return t.engine->Run(spec);
 }
 
-Key Database::Insert(const std::string& table, std::span<const Value> values) {
+std::future<QueryResult> Database::QueryAsync(const std::string& table,
+                                              QuerySpec spec) {
   Table& t = FindTable(table);
+  t.queries.fetch_add(1, std::memory_order_relaxed);
+  // Compute the affinity key before the task construction moves the spec
+  // away.
+  const size_t home = t.engine->HomePartition(spec);
+  auto task = std::make_shared<std::packaged_task<QueryResult()>>(
+      [&t, spec = std::move(spec)] { return t.engine->Run(spec); });
+  std::future<QueryResult> future = task->get_future();
+  if (pool_ == nullptr) {
+    (*task)();
+    return future;
+  }
+  // Schedule the whole query next to its data: the home partition's index
+  // is the affinity key. Inside the worker, Run detects it must not block
+  // on the pool and executes its partition groups inline.
+  pool_->Submit(home, [task] { (*task)(); });
+  return future;
+}
+
+std::vector<QueryResult> Database::QueryBatch(
+    const std::string& table, std::span<const QuerySpec> specs) {
+  Table& t = FindTable(table);
+  t.queries.fetch_add(specs.size(), std::memory_order_relaxed);
+  return t.engine->RunBatch(specs);
+}
+
+void Database::ApplyViews(Table& t, std::span<const WriteView> ops,
+                          WriteOutcome* outcomes) {
+  if (ops.empty()) return;
+  // One writer_mu acquisition commits the whole batch. Ops apply strictly
+  // in order (so keys and delete outcomes match the one-op loop); the
+  // partition lock is held across consecutive ops on the same partition
+  // and re-acquired only on a switch, so clustered batches amortize it.
   std::unique_lock<std::shared_mutex> writer(t.writer_mu);
-  const size_t target =
-      t.relation.PartitionOf(values[t.relation.organizing_ordinal()]);
-  std::unique_lock<std::shared_mutex> partition(
-      t.relation.partition_mutex(target));
-  const Key key = t.relation.AppendTo(target, values);
-  t.inserts.fetch_add(1, std::memory_order_relaxed);
-  return key;
+  std::unique_lock<std::shared_mutex> partition;
+  size_t locked = t.relation.num_partitions();  // sentinel: none held
+  uint64_t inserts = 0, deletes = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const WriteView& op = ops[i];
+    size_t target;
+    if (op.kind == WriteOp::Kind::kInsert) {
+      target =
+          t.relation.PartitionOf(op.values[t.relation.organizing_ordinal()]);
+    } else {
+      const std::optional<PartitionedRelation::Location> loc =
+          t.relation.Locate(op.key);
+      if (!loc.has_value()) continue;  // outcome stays {false, kInvalidKey}
+      target = loc->partition;
+    }
+    if (target != locked) {
+      if (partition.owns_lock()) partition.unlock();
+      partition = std::unique_lock<std::shared_mutex>(
+          t.relation.partition_mutex(target));
+      locked = target;
+    }
+    if (op.kind == WriteOp::Kind::kInsert) {
+      outcomes[i] = {true, t.relation.AppendTo(target, op.values)};
+      ++inserts;
+    } else if (t.relation.Delete(op.key)) {
+      outcomes[i] = {true, op.key};
+      ++deletes;
+    }
+  }
+  if (inserts > 0) t.inserts.fetch_add(inserts, std::memory_order_relaxed);
+  if (deletes > 0) t.deletes.fetch_add(deletes, std::memory_order_relaxed);
+}
+
+std::vector<WriteOutcome> Database::ApplyBatch(const std::string& table,
+                                               std::span<const WriteOp> ops) {
+  Table& t = FindTable(table);
+  std::vector<WriteOutcome> outcomes(ops.size());
+  std::vector<WriteView> views;
+  views.reserve(ops.size());
+  for (const WriteOp& op : ops) {
+    views.push_back({op.kind, op.values, op.key});
+  }
+  ApplyViews(t, views, outcomes.data());
+  return outcomes;
+}
+
+Key Database::Insert(const std::string& table, std::span<const Value> values) {
+  const WriteView view{WriteOp::Kind::kInsert, values, kInvalidKey};
+  WriteOutcome outcome;
+  ApplyViews(FindTable(table), {&view, 1}, &outcome);
+  return outcome.key;
 }
 
 bool Database::Delete(const std::string& table, Key global_key) {
-  Table& t = FindTable(table);
-  std::unique_lock<std::shared_mutex> writer(t.writer_mu);
-  const std::optional<PartitionedRelation::Location> loc =
-      t.relation.Locate(global_key);
-  if (!loc.has_value()) return false;
-  std::unique_lock<std::shared_mutex> partition(
-      t.relation.partition_mutex(loc->partition));
-  if (!t.relation.Delete(global_key)) return false;
-  t.deletes.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  const WriteView view{WriteOp::Kind::kDelete, {}, global_key};
+  WriteOutcome outcome;
+  ApplyViews(FindTable(table), {&view, 1}, &outcome);
+  return outcome.ok;
 }
 
 TableStats Database::Stats(const std::string& table) const {

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -28,6 +30,43 @@ struct DatabaseOptions {
   /// threads are themselves the parallelism (see bench_concurrent_
   /// throughput).
   size_t pool_threads = kPoolAuto;
+
+  /// Partition-affine scheduling: partition p's sub-query groups (and
+  /// async queries whose home partition is p) are routed to pool worker
+  /// p % pool_threads, so a partition's cracked structures stay core-
+  /// local across queries. Off = round-robin spreading (the bench's
+  /// control arm). Ignored without a pool.
+  bool affine_scheduling = true;
+};
+
+/// One write of a mixed Insert/Delete batch (Database::ApplyBatch).
+struct WriteOp {
+  enum class Kind { kInsert, kDelete };
+
+  static WriteOp MakeInsert(std::vector<Value> values) {
+    WriteOp op;
+    op.kind = Kind::kInsert;
+    op.values = std::move(values);
+    return op;
+  }
+  static WriteOp MakeDelete(Key global_key) {
+    WriteOp op;
+    op.kind = Kind::kDelete;
+    op.key = global_key;
+    return op;
+  }
+
+  Kind kind = Kind::kInsert;
+  std::vector<Value> values;  // kInsert: the row to append
+  Key key = kInvalidKey;      // kDelete: the global key to tombstone
+};
+
+/// Per-op result of ApplyBatch, in op order. Inserts always succeed and
+/// carry the new global key; a delete fails (ok = false) when the key is
+/// unknown or the row is already dead — exactly as Delete would.
+struct WriteOutcome {
+  bool ok = false;
+  Key key = kInvalidKey;
 };
 
 /// View of one table. Each partition is read under its shared lock, so no
@@ -68,9 +107,21 @@ struct TableStats {
 ///
 /// Lock order is always: tables map -> writer_mu -> partition mutex, and
 /// queries skip the first two levels, so the hierarchy is cycle-free.
+/// Partition locks are never nested, including inside ApplyBatch (one is
+/// released before the next is taken).
+///
+/// There is exactly one execution path: Query, QueryAsync, and QueryBatch
+/// all funnel into the ShardedEngine batch scheduler, and Insert/Delete
+/// are one-op ApplyBatch calls — the batch/async surface is the system,
+/// the synchronous methods are its degenerate case.
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
+
+  /// Joins the pool before any table is torn down, so in-flight async
+  /// queries never touch a dead table. Queued QueryAsync tasks whose
+  /// futures were dropped still run to completion first.
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -89,16 +140,43 @@ class Database {
 
   /// Evaluates `spec` across the table's partitions; results merge outside
   /// the partition locks. Identical rows (as a multiset) to running the
-  /// same spec on an unsharded engine over the source relation.
+  /// same spec on an unsharded engine over the source relation. Thin
+  /// wrapper over the batch pipeline (a batch of one).
   QueryResult Query(const std::string& table, const QuerySpec& spec);
+
+  /// Schedules `spec` on the pool with its home partition as the affinity
+  /// key and returns immediately; the future yields the same result Query
+  /// would. Without a pool the query runs inline and the future is ready
+  /// on return. Futures may outlive the caller's frame but not the
+  /// Database; dropping one without waiting is allowed.
+  std::future<QueryResult> QueryAsync(const std::string& table,
+                                      QuerySpec spec);
+
+  /// Executes many specs as one pipelined batch: their partition
+  /// sub-queries are grouped so each target partition is locked once per
+  /// batch (not once per query), and partition groups fan out across the
+  /// pool with partition affinity. Returns one result per spec, in order,
+  /// row-for-row identical to calling Query in a loop.
+  std::vector<QueryResult> QueryBatch(const std::string& table,
+                                      std::span<const QuerySpec> specs);
+
+  /// Group commit of a mixed Insert/Delete batch: takes `writer_mu` ONCE
+  /// for the whole batch and re-acquires a partition lock only when
+  /// consecutive ops target different partitions. Ops apply in order, so
+  /// outcomes (keys included) are identical to the equivalent
+  /// Insert/Delete loop; partition-clustered batches (bulk loads, range
+  /// ingest) pay one lock acquisition per cluster.
+  std::vector<WriteOutcome> ApplyBatch(const std::string& table,
+                                       std::span<const WriteOp> ops);
 
   /// Routes one tuple to its partition by the organizing attribute and
   /// appends it; returns the global key. Per-partition engines merge the
-  /// insert lazily on their next relevant query (pending/ripple).
+  /// insert lazily on their next relevant query (pending/ripple). Thin
+  /// wrapper over ApplyBatch (a batch of one).
   Key Insert(const std::string& table, std::span<const Value> values);
 
   /// Tombstones the row with this global key. False if unknown or already
-  /// dead.
+  /// dead. Thin wrapper over ApplyBatch (a batch of one).
   bool Delete(const std::string& table, Key global_key);
 
   TableStats Stats(const std::string& table) const;
@@ -127,6 +205,20 @@ class Database {
     std::atomic<uint64_t> inserts{0};
     std::atomic<uint64_t> deletes{0};
   };
+
+  /// Non-owning view of one write: the group-commit core works on views
+  /// so ApplyBatch borrows from the caller's WriteOps and Insert/Delete
+  /// borrow straight from their arguments (no per-op row copy).
+  struct WriteView {
+    WriteOp::Kind kind = WriteOp::Kind::kInsert;
+    std::span<const Value> values;  // kInsert
+    Key key = kInvalidKey;          // kDelete
+  };
+
+  /// The one write path: applies `ops` in order under a single writer_mu
+  /// acquisition, filling `outcomes[i]` per op (see ApplyBatch).
+  void ApplyViews(Table& t, std::span<const WriteView> ops,
+                  WriteOutcome* outcomes);
 
   Table& FindTable(const std::string& table) const;
 

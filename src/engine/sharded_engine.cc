@@ -137,45 +137,104 @@ std::vector<size_t> ShardedEngine::TargetPartitions(
   return targets;
 }
 
-std::vector<ShardedEngine::ShardResult> ShardedEngine::ExecuteShards(
-    const QuerySpec& spec) {
+size_t ShardedEngine::HomePartition(const QuerySpec& spec) const {
   const std::vector<size_t> targets = TargetPartitions(spec);
-  std::vector<ShardResult> results(targets.size());
-  std::vector<CostBreakdown> deltas(targets.size());
+  return targets.empty() ? 0 : targets.front();
+}
 
-  auto run_shard = [&](size_t t) {
-    const size_t p = targets[t];
-    Engine& child = *engines_[p];
-    // Exclusive: the sub-query cracks the partition's auxiliary
-    // structures. Everything the caller may touch later is materialized
-    // before the lock is released.
-    std::unique_lock<std::shared_mutex> lock(relation_->partition_mutex(p));
-    const CostBreakdown before = child.cost();
-    Timer select_timer;
-    std::unique_ptr<SelectionHandle> handle = child.Select(spec);
-    const double select_elapsed = select_timer.ElapsedMicros();
-
-    Timer fetch_timer;
-    ShardResult& shard = results[t];
-    shard.columns.reserve(spec.projections.size());
-    for (const std::string& attr : spec.projections) {
-      shard.columns.push_back(handle->Fetch(attr));
+std::vector<std::vector<ShardedEngine::ShardResult>>
+ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs) {
+  // A sub-query is one (spec, target partition) pair; `slot` is the
+  // partition's position within that spec's (partition-ordered) target
+  // list, i.e. where the materialization lands in results[spec].
+  struct SubQuery {
+    size_t spec_index;
+    size_t slot;
+  };
+  std::vector<std::vector<ShardResult>> results(specs.size());
+  std::vector<std::vector<SubQuery>> groups(engines_.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const std::vector<size_t> targets = TargetPartitions(specs[s]);
+    results[s].resize(targets.size());
+    for (size_t t = 0; t < targets.size(); ++t) {
+      groups[targets[t]].push_back({s, t});
     }
-    shard.num_rows = handle->NumRows();
+  }
+  std::vector<size_t> active;  // partitions with at least one sub-query
+  active.reserve(groups.size());
+  for (size_t p = 0; p < groups.size(); ++p) {
+    if (!groups[p].empty()) active.push_back(p);
+  }
 
-    // Charge the child's own attribution where it keeps one (prepare);
-    // select/reconstruct use our wall timers so engines whose Select does
-    // lazy work in Fetch are still accounted consistently.
-    CostBreakdown& delta = deltas[t];
-    delta.prepare_micros = child.cost().prepare_micros - before.prepare_micros;
-    delta.select_micros = select_elapsed - delta.prepare_micros;
-    delta.reconstruct_micros = fetch_timer.ElapsedMicros();
+  std::vector<CostBreakdown> deltas(active.size());
+
+  auto run_group = [&](size_t a) {
+    const size_t p = active[a];
+    Engine& child = *engines_[p];
+    // One exclusive acquisition serves the whole group: the sub-queries
+    // crack the partition's auxiliary structures back to back (batch
+    // order, so state evolution matches the one-by-one loop), and every
+    // declared projection is materialized before the lock is released.
+    std::unique_lock<std::shared_mutex> lock(relation_->partition_mutex(p));
+    CostBreakdown& delta = deltas[a];
+    for (const SubQuery& sub : groups[p]) {
+      const QuerySpec& spec = specs[sub.spec_index];
+      const CostBreakdown before = child.cost();
+      Timer select_timer;
+      std::unique_ptr<SelectionHandle> handle = child.Select(spec);
+      const double select_elapsed = select_timer.ElapsedMicros();
+
+      Timer fetch_timer;
+      ShardResult& shard = results[sub.spec_index][sub.slot];
+      shard.columns.reserve(spec.projections.size());
+      for (const std::string& attr : spec.projections) {
+        shard.columns.push_back(handle->Fetch(attr));
+      }
+      shard.num_rows = handle->NumRows();
+
+      // Charge the child's own attribution where it keeps one (prepare);
+      // select/reconstruct use our wall timers so engines whose Select
+      // does lazy work in Fetch are still accounted consistently.
+      const double prepare =
+          child.cost().prepare_micros - before.prepare_micros;
+      delta.prepare_micros += prepare;
+      delta.select_micros += select_elapsed - prepare;
+      delta.reconstruct_micros += fetch_timer.ElapsedMicros();
+    }
   };
 
-  if (pool_ != nullptr && targets.size() > 1) {
-    pool_->ParallelFor(targets.size(), run_shard);
+  // Fan the partition groups out with the partition index as the affinity
+  // key, so a partition's group lands on the worker whose cache already
+  // holds its cracked structures. Inline when there is nothing to overlap
+  // — or when *we* are running inside a pool worker (an async query's
+  // task): blocking on the pool from a worker could deadlock it.
+  if (pool_ != nullptr && active.size() > 1 && !pool_->InWorkerThread()) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(active.size() - 1);
+    for (size_t a = 1; a < active.size(); ++a) {
+      futures.push_back(
+          pool_->Submit(active[a], [&run_group, a] { run_group(a); }));
+    }
+    // The caller contributes a core (running the first group) instead of
+    // idling on the join, as ParallelFor does. Every future is drained
+    // before any exception propagates: queued groups reference this
+    // frame. Keep only the first exception.
+    std::exception_ptr first_error;
+    try {
+      run_group(0);
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+    for (std::future<void>& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
   } else {
-    for (size_t t = 0; t < targets.size(); ++t) run_shard(t);
+    for (size_t a = 0; a < active.size(); ++a) run_group(a);
   }
 
   CostBreakdown sum;
@@ -193,6 +252,11 @@ std::vector<ShardedEngine::ShardResult> ShardedEngine::ExecuteShards(
   return results;
 }
 
+std::vector<ShardedEngine::ShardResult> ShardedEngine::ExecuteShards(
+    const QuerySpec& spec) {
+  return std::move(ExecuteBatch({&spec, 1}).front());
+}
+
 std::unique_ptr<SelectionHandle> ShardedEngine::Select(const QuerySpec& spec) {
   std::vector<ShardResult> shards = ExecuteShards(spec);
   std::vector<std::vector<std::vector<Value>>> columns;
@@ -207,11 +271,10 @@ std::unique_ptr<SelectionHandle> ShardedEngine::Select(const QuerySpec& spec) {
                                          std::move(rows));
 }
 
-QueryResult ShardedEngine::Run(const QuerySpec& spec) {
-  const std::vector<ShardResult> shards = ExecuteShards(spec);
-
+QueryResult ShardedEngine::MergeShards(const QuerySpec& spec,
+                                       std::vector<ShardResult> shards) {
   // Merge outside every partition lock: concatenate the per-shard
-  // materializations per projection.
+  // materializations per projection, in partition order.
   Timer merge_timer;
   QueryResult result;
   result.columns.resize(spec.projections.size());
@@ -231,6 +294,21 @@ QueryResult ShardedEngine::Run(const QuerySpec& spec) {
     cost_.reconstruct_micros += merge_timer.ElapsedMicros();
   }
   return result;
+}
+
+QueryResult ShardedEngine::Run(const QuerySpec& spec) {
+  return MergeShards(spec, ExecuteShards(spec));
+}
+
+std::vector<QueryResult> ShardedEngine::RunBatch(
+    std::span<const QuerySpec> specs) {
+  std::vector<std::vector<ShardResult>> shards = ExecuteBatch(specs);
+  std::vector<QueryResult> results;
+  results.reserve(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    results.push_back(MergeShards(specs[s], std::move(shards[s])));
+  }
+  return results;
 }
 
 CostBreakdown ShardedEngine::CostSnapshot() const {

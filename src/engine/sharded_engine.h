@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,15 @@ namespace crackdb {
 /// QuerySpec by fanning partition-local sub-queries out across a
 /// ThreadPool, then merging the per-partition results and summing the
 /// per-partition CostBreakdowns.
+///
+/// All execution — single query or batch, pooled or inline — funnels
+/// through one path, ExecuteBatch: the sub-queries of every spec in a
+/// batch are grouped *by partition*, and each partition's group runs as
+/// one task submitted with the partition index as its ThreadPool affinity
+/// key, under a single acquisition of that partition's lock. A batch of k
+/// selective queries on one partition therefore costs one lock round-trip
+/// and one scheduling hop instead of k, and the partition's cracked
+/// structures stay on their home worker across batches.
 ///
 /// Concurrency contract — this is the one engine that IS safe to call from
 /// many client threads at once:
@@ -54,6 +64,18 @@ class ShardedEngine : public Engine {
   std::unique_ptr<SelectionHandle> Select(const QuerySpec& spec) override;
   QueryResult Run(const QuerySpec& spec) override;
 
+  /// Executes many specs as one scheduled batch: sub-queries are grouped
+  /// by partition and each partition's group runs under a single lock
+  /// acquisition, in batch order. Returns one QueryResult per spec,
+  /// row-for-row identical to running the same specs through Run one by
+  /// one (each partition sees the same sub-query sequence either way).
+  std::vector<QueryResult> RunBatch(std::span<const QuerySpec> specs);
+
+  /// The partition a spec's first sub-query targets (0 when it targets
+  /// none) — the affinity key async callers use to schedule the whole
+  /// query next to its data.
+  size_t HomePartition(const QuerySpec& spec) const;
+
   size_t num_partitions() const { return engines_.size(); }
   Engine& partition_engine(size_t i) { return *engines_[i]; }
 
@@ -71,10 +93,24 @@ class ShardedEngine : public Engine {
     size_t num_rows = 0;
   };
 
-  /// Runs the per-partition sub-queries (locked, materialized) and sums
-  /// their cost deltas into cost_. Returns one ShardResult per target
-  /// partition.
+  /// The one execution path. Groups the sub-queries of `specs` by target
+  /// partition, runs each partition's group as one affine task under a
+  /// single partition-lock acquisition (materializing every declared
+  /// projection inside the lock), and sums the cost deltas into cost_.
+  /// Returns, per spec, one ShardResult per target partition in partition
+  /// order. Falls back to inline execution without a pool, with a single
+  /// target group, or when called from a pool worker (an async query's
+  /// own task must not block on the pool).
+  std::vector<std::vector<ShardResult>> ExecuteBatch(
+      std::span<const QuerySpec> specs);
+
+  /// Single-spec convenience over ExecuteBatch.
   std::vector<ShardResult> ExecuteShards(const QuerySpec& spec);
+
+  /// Concatenates a spec's per-partition materializations (outside every
+  /// lock) and charges the merge to reconstruct cost.
+  QueryResult MergeShards(const QuerySpec& spec,
+                          std::vector<ShardResult> shards);
 
   const PartitionedRelation* relation_;
   std::vector<std::unique_ptr<Engine>> engines_;

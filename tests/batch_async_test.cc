@@ -1,0 +1,244 @@
+// Batch/async equivalence: QueryBatch, QueryAsync, and ApplyBatch must
+// return row-for-row identical results — and leave identical end states —
+// compared with the synchronous one-op-at-a-time loop. Each check runs two
+// twin databases from the same seed state, drives one through the batch
+// pipeline and one through the loop, and demands exact equality (not just
+// multiset equality: each partition sees the same sub-query sequence
+// either way, so even the crack-order-dependent row order must match).
+
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/workload.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/plain_engine.h"
+#include "storage/catalog.h"
+
+namespace crackdb {
+namespace {
+
+using bench::AttrName;
+
+constexpr Value kDomain = 2'000;
+constexpr size_t kRows = 2'000;
+constexpr size_t kPartitions = 5;
+
+QuerySpec RandomQuery(Rng* rng) {
+  QuerySpec spec;
+  if (rng->Bernoulli(0.3)) {
+    spec.selections = {
+        {AttrName(1), RangePredicate::Point(rng->Uniform(1, kDomain))}};
+  } else {
+    spec.selections = {{AttrName(1), bench::RandomRange(rng, 1, kDomain, 0.2)},
+                       {AttrName(2), bench::RandomRange(rng, 1, kDomain, 0.6)}};
+  }
+  spec.projections = {AttrName(3), AttrName(4)};
+  return spec;
+}
+
+using bench::ZipRows;
+
+class BatchAsyncTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    Rng rng(1234);
+    source_ = &bench::CreateUniformRelation(&catalog_, "R", 4, kRows, kDomain,
+                                            &rng);
+  }
+
+  /// A fresh database over the (current) source relation. Twins made
+  /// before any write start from identical states.
+  std::unique_ptr<Database> MakeDb(size_t pool_threads = 0) {
+    DatabaseOptions options;
+    options.pool_threads = pool_threads;
+    auto db = std::make_unique<Database>(options);
+    PartitionSpec spec;
+    spec.kind = PartitionSpec::Kind::kRange;
+    spec.num_partitions = kPartitions;
+    spec.column = AttrName(1);
+    spec.domain_lo = 1;
+    spec.domain_hi = kDomain;
+    db->RegisterSharded("R", *source_, spec, GetParam());
+    return db;
+  }
+
+  Catalog catalog_;
+  Relation* source_ = nullptr;
+};
+
+TEST_P(BatchAsyncTest, QueryBatchRowForRowEqualsSequentialLoop) {
+  for (const size_t pool : {size_t{0}, size_t{2}}) {
+    const std::unique_ptr<Database> batch_db = MakeDb(pool);
+    const std::unique_ptr<Database> loop_db = MakeDb(pool);
+    Rng rng(77);
+    std::vector<QuerySpec> specs;
+    for (int q = 0; q < 24; ++q) specs.push_back(RandomQuery(&rng));
+
+    const std::vector<QueryResult> batched = batch_db->QueryBatch("R", specs);
+    ASSERT_EQ(batched.size(), specs.size());
+    for (size_t q = 0; q < specs.size(); ++q) {
+      const QueryResult looped = loop_db->Query("R", specs[q]);
+      EXPECT_EQ(batched[q].num_rows, looped.num_rows) << "query " << q;
+      EXPECT_EQ(batched[q].columns, looped.columns)
+          << "row-for-row divergence at query " << q << " (pool=" << pool
+          << ")";
+    }
+
+    // Identical end states: both crackers saw the same per-partition
+    // sub-query sequence, so even a full scan must agree exactly.
+    QuerySpec full_scan;
+    full_scan.projections = {AttrName(1), AttrName(2), AttrName(3),
+                             AttrName(4)};
+    EXPECT_EQ(batch_db->Query("R", full_scan).columns,
+              loop_db->Query("R", full_scan).columns);
+    const TableStats batch_stats = batch_db->Stats("R");
+    const TableStats loop_stats = loop_db->Stats("R");
+    EXPECT_EQ(batch_stats.queries, loop_stats.queries);
+    EXPECT_EQ(batch_stats.rows, loop_stats.rows);
+  }
+}
+
+TEST_P(BatchAsyncTest, QueryBatchHandlesEmptyAndSingleton) {
+  const std::unique_ptr<Database> db = MakeDb();
+  EXPECT_TRUE(db->QueryBatch("R", {}).empty());
+
+  Rng rng(5);
+  const QuerySpec spec = RandomQuery(&rng);
+  const std::unique_ptr<Database> twin = MakeDb();
+  const std::vector<QueryResult> batched = db->QueryBatch("R", {&spec, 1});
+  ASSERT_EQ(batched.size(), 1u);
+  EXPECT_EQ(batched[0].columns, twin->Query("R", spec).columns);
+}
+
+TEST_P(BatchAsyncTest, QueryAsyncEqualsSync) {
+  for (const size_t pool : {size_t{0}, size_t{2}}) {
+    const std::unique_ptr<Database> async_db = MakeDb(pool);
+    const std::unique_ptr<Database> sync_db = MakeDb(pool);
+    Rng rng(99);
+    for (int q = 0; q < 16; ++q) {
+      const QuerySpec spec = RandomQuery(&rng);
+      // Awaited one at a time, the async pipeline must be deterministic:
+      // same sub-query order, same rows in the same order.
+      QueryResult async_result = async_db->QueryAsync("R", spec).get();
+      EXPECT_EQ(async_result.columns, sync_db->Query("R", spec).columns)
+          << "query " << q << " (pool=" << pool << ")";
+    }
+    EXPECT_EQ(async_db->Stats("R").queries, sync_db->Stats("R").queries);
+  }
+}
+
+TEST_P(BatchAsyncTest, ConcurrentAsyncWaveMatchesPlainReference) {
+  const std::unique_ptr<Database> db = MakeDb(3);
+  PlainEngine reference(*source_);  // read-only phase: source is immutable
+  Rng rng(41);
+  std::vector<QuerySpec> specs;
+  std::vector<std::future<QueryResult>> futures;
+  for (int q = 0; q < 20; ++q) {
+    specs.push_back(RandomQuery(&rng));
+    futures.push_back(db->QueryAsync("R", specs.back()));
+  }
+  // In-flight queries interleave, so row order is scheduling-dependent —
+  // but every answer must still be the exact multiset a plain scan gives.
+  for (size_t q = 0; q < futures.size(); ++q) {
+    EXPECT_EQ(ZipRows(futures[q].get()), ZipRows(reference.Run(specs[q])))
+        << "async query " << q;
+  }
+}
+
+TEST_P(BatchAsyncTest, ApplyBatchEqualsSequentialLoop) {
+  const std::unique_ptr<Database> batch_db = MakeDb();
+  const std::unique_ptr<Database> loop_db = MakeDb();
+  Rng rng(314);
+
+  // A mixed batch: inserts across partitions, deletes of pre-existing
+  // keys, a delete of an unknown key, and a double delete in the same
+  // batch (the second must fail in both pipelines).
+  std::vector<WriteOp> ops;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<Value> row(4);
+    for (Value& v : row) v = rng.Uniform(1, kDomain);
+    ops.push_back(WriteOp::MakeInsert(std::move(row)));
+  }
+  ops.push_back(WriteOp::MakeDelete(Key{3}));
+  ops.push_back(WriteOp::MakeDelete(Key{kRows - 1}));
+  ops.push_back(WriteOp::MakeDelete(Key{3}));  // already dead: must fail
+  ops.push_back(WriteOp::MakeDelete(Key{1'000'000}));  // unknown: must fail
+  for (int i = 0; i < 10; ++i) {
+    std::vector<Value> row(4);
+    for (Value& v : row) v = rng.Uniform(1, kDomain);
+    ops.push_back(WriteOp::MakeInsert(std::move(row)));
+  }
+
+  const std::vector<WriteOutcome> batched = batch_db->ApplyBatch("R", ops);
+
+  std::vector<WriteOutcome> looped(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == WriteOp::Kind::kInsert) {
+      looped[i] = {true, loop_db->Insert("R", ops[i].values)};
+    } else {
+      looped[i] = {loop_db->Delete("R", ops[i].key), ops[i].key};
+      if (!looped[i].ok) looped[i].key = kInvalidKey;
+    }
+  }
+
+  ASSERT_EQ(batched.size(), looped.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(batched[i].ok, looped[i].ok) << "op " << i;
+    // Order-preserving group commit: the keys must match the loop's.
+    EXPECT_EQ(batched[i].key, looped[i].key) << "op " << i;
+  }
+
+  // Identical end states, checked exactly.
+  QuerySpec full_scan;
+  full_scan.projections = {AttrName(1), AttrName(2), AttrName(3), AttrName(4)};
+  EXPECT_EQ(batch_db->Query("R", full_scan).columns,
+            loop_db->Query("R", full_scan).columns);
+  const TableStats batch_stats = batch_db->Stats("R");
+  const TableStats loop_stats = loop_db->Stats("R");
+  EXPECT_EQ(batch_stats.rows, loop_stats.rows);
+  EXPECT_EQ(batch_stats.live_rows, loop_stats.live_rows);
+  EXPECT_EQ(batch_stats.deleted, loop_stats.deleted);
+  EXPECT_EQ(batch_stats.inserts, loop_stats.inserts);
+  EXPECT_EQ(batch_stats.deletes, loop_stats.deletes);
+}
+
+TEST_P(BatchAsyncTest, ApplyBatchThenQueryBatchRoundTrip) {
+  const std::unique_ptr<Database> db = MakeDb();
+  // Keys from one batch are immediately deletable in the next.
+  std::vector<WriteOp> inserts;
+  for (int i = 0; i < 12; ++i) {
+    inserts.push_back(WriteOp::MakeInsert({Value(1 + i * 7), 2, 3, 4}));
+  }
+  const std::vector<WriteOutcome> outcomes = db->ApplyBatch("R", inserts);
+  std::vector<WriteOp> deletes;
+  for (size_t i = 0; i < outcomes.size(); i += 2) {
+    ASSERT_TRUE(outcomes[i].ok);
+    deletes.push_back(WriteOp::MakeDelete(outcomes[i].key));
+  }
+  for (const WriteOutcome& outcome : db->ApplyBatch("R", deletes)) {
+    EXPECT_TRUE(outcome.ok);
+  }
+  const TableStats stats = db->Stats("R");
+  EXPECT_EQ(stats.rows, kRows + inserts.size());
+  EXPECT_EQ(stats.live_rows, kRows + inserts.size() - deletes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(EngineKinds, BatchAsyncTest,
+                         ::testing::Values("selection-cracking", "sideways",
+                                           "partial", "plain"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace crackdb

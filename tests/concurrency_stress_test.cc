@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <set>
 #include <string>
 #include <thread>
@@ -29,15 +30,7 @@ constexpr Value kDomain = 2'500;
 constexpr size_t kRows = 2'500;
 constexpr size_t kThreads = 4;
 
-std::multiset<std::vector<Value>> ZipRows(const QueryResult& r) {
-  std::multiset<std::vector<Value>> out;
-  for (size_t i = 0; i < r.num_rows; ++i) {
-    std::vector<Value> row;
-    for (const auto& col : r.columns) row.push_back(col[i]);
-    out.insert(row);
-  }
-  return out;
-}
+using bench::ZipRows;
 
 QuerySpec RandomQuery(Rng* rng) {
   QuerySpec spec;
@@ -182,6 +175,108 @@ TEST_P(ConcurrencyStressTest, MixedStormEqualsSerialReplay) {
   EXPECT_EQ(stats.deletes, deletes);
   EXPECT_EQ(stats.live_rows, source_->num_live_rows());
   EXPECT_GE(stats.queries, 6u);  // at least the replay-check queries
+}
+
+// The batch/async surface under the same 4-thread storm: every thread
+// pushes its traffic through QueryBatch / QueryAsync / ApplyBatch instead
+// of the one-op loop, and the final state must still equal a serial
+// replay of the recorded writes. Runs under TSan in CI like the rest of
+// the suite.
+TEST_P(ConcurrencyStressTest, BatchedAsyncStormEqualsSerialReplay) {
+  struct RecordedInsert {
+    std::vector<Value> values;
+    bool deleted = false;
+  };
+  std::vector<std::vector<RecordedInsert>> recorded(kThreads);
+  std::vector<std::string> failures(kThreads);
+
+  std::vector<std::thread> clients;
+  for (size_t tid = 0; tid < kThreads; ++tid) {
+    clients.emplace_back([this, tid, &recorded, &failures] {
+      Rng rng(7700 + tid);
+      std::vector<std::pair<Key, size_t>> own_live;  // global key, slot
+      for (int round = 0; round < 12; ++round) {
+        // A query batch, with one extra query in flight asynchronously.
+        std::vector<QuerySpec> specs;
+        for (int q = 0; q < 3; ++q) specs.push_back(RandomQuery(&rng));
+        std::future<QueryResult> async_result =
+            db_->QueryAsync("R", RandomQuery(&rng));
+        const std::vector<QueryResult> results = db_->QueryBatch("R", specs);
+        for (const QueryResult& result : results) {
+          for (const auto& col : result.columns) {
+            if (col.size() != result.num_rows) {
+              failures[tid] = "ragged batch result in thread " +
+                              std::to_string(tid);
+              return;
+            }
+          }
+        }
+        (void)async_result.get();
+
+        // A mixed write batch: a few inserts plus a delete of one of our
+        // own earlier rows (own keys only, so serial replay stays a valid
+        // oracle under any interleaving).
+        std::vector<WriteOp> ops;
+        std::vector<size_t> insert_slots;
+        const size_t inserts = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+        for (size_t i = 0; i < inserts; ++i) {
+          std::vector<Value> row(source_->num_columns());
+          for (Value& v : row) v = rng.Uniform(1, kDomain);
+          insert_slots.push_back(recorded[tid].size());
+          recorded[tid].push_back({row, false});
+          ops.push_back(WriteOp::MakeInsert(std::move(row)));
+        }
+        size_t deleted_slot = recorded[tid].size();
+        if (own_live.size() >= 2 && rng.Bernoulli(0.6)) {
+          const size_t pick = static_cast<size_t>(
+              rng.Uniform(0, static_cast<Value>(own_live.size()) - 1));
+          const auto [key, slot] = own_live[pick];
+          deleted_slot = slot;
+          ops.push_back(WriteOp::MakeDelete(key));
+          own_live.erase(own_live.begin() + static_cast<long>(pick));
+        }
+        const std::vector<WriteOutcome> outcomes = db_->ApplyBatch("R", ops);
+        for (size_t i = 0; i < ops.size(); ++i) {
+          if (!outcomes[i].ok) {
+            failures[tid] = "batched write failed in thread " +
+                            std::to_string(tid);
+            return;
+          }
+          if (ops[i].kind == WriteOp::Kind::kInsert) {
+            own_live.push_back({outcomes[i].key, insert_slots.front()});
+            insert_slots.erase(insert_slots.begin());
+          } else {
+            recorded[tid][deleted_slot].deleted = true;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (const std::string& failure : failures) {
+    ASSERT_TRUE(failure.empty()) << failure;
+  }
+
+  // Serial replay oracle, as in MixedStormEqualsSerialReplay.
+  for (const auto& thread_log : recorded) {
+    for (const RecordedInsert& rec : thread_log) {
+      const Key key = source_->AppendRow(rec.values);
+      if (rec.deleted) source_->DeleteRow(key);
+    }
+  }
+  PlainEngine reference(*source_);
+  QuerySpec full_scan;
+  full_scan.projections = {AttrName(1), AttrName(2), AttrName(3), AttrName(4)};
+  ASSERT_EQ(ZipRows(db_->Query("R", full_scan)),
+            ZipRows(reference.Run(full_scan)));
+  Rng rng(63);
+  for (int q = 0; q < 5; ++q) {
+    const QuerySpec spec = RandomQuery(&rng);
+    ASSERT_EQ(ZipRows(db_->QueryBatch("R", {&spec, 1}).front()),
+              ZipRows(reference.Run(spec)))
+        << "replayed batched query " << q;
+  }
+  EXPECT_EQ(db_->Stats("R").live_rows, source_->num_live_rows());
 }
 
 TEST_P(ConcurrencyStressTest, SnapshotsRunConcurrentlyWithTraffic) {

@@ -20,15 +20,7 @@ namespace {
 using bench::AttrName;
 using bench::CreateUniformRelation;
 
-std::multiset<std::vector<Value>> ZipRows(const QueryResult& r) {
-  std::multiset<std::vector<Value>> out;
-  for (size_t i = 0; i < r.num_rows; ++i) {
-    std::vector<Value> row;
-    for (const auto& col : r.columns) row.push_back(col[i]);
-    out.insert(row);
-  }
-  return out;
-}
+using bench::ZipRows;
 
 /// Every engine must produce the same multiset of result tuples as the
 /// plain scan engine — the paper's core correctness claim across physical

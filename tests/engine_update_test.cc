@@ -15,15 +15,7 @@ namespace {
 
 using bench::AttrName;
 
-std::multiset<std::vector<Value>> ZipRows(const QueryResult& r) {
-  std::multiset<std::vector<Value>> out;
-  for (size_t i = 0; i < r.num_rows; ++i) {
-    std::vector<Value> row;
-    for (const auto& col : r.columns) row.push_back(col[i]);
-    out.insert(row);
-  }
-  return out;
-}
+using bench::ZipRows;
 
 /// Invariant 3 under updates: the self-organizing engines keep answering
 /// exactly like a fresh scan while inserts and deletes stream in — the

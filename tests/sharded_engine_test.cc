@@ -31,15 +31,7 @@ using bench::AttrName;
 constexpr Value kDomain = 10'000;
 constexpr size_t kRows = 3'000;
 
-std::multiset<std::vector<Value>> ZipRows(const QueryResult& r) {
-  std::multiset<std::vector<Value>> out;
-  for (size_t i = 0; i < r.num_rows; ++i) {
-    std::vector<Value> row;
-    for (const auto& col : r.columns) row.push_back(col[i]);
-    out.insert(row);
-  }
-  return out;
-}
+using bench::ZipRows;
 
 struct ShardParam {
   std::string kind;
@@ -368,26 +360,8 @@ TEST(ShardedPruningTest, RangeShardsPruneOrganizingSelections) {
   EXPECT_EQ(ZipRows(sharded.Run(disj)), ZipRows(plain.Run(disj)));
 }
 
-TEST(ThreadPoolTest, ParallelForRunsEveryIndexOnce) {
-  ThreadPool pool(3);
-  EXPECT_EQ(pool.num_threads(), 3u);
-  std::vector<std::atomic<int>> hits(101);
-  pool.ParallelFor(101, [&](size_t i) {
-    hits[i].fetch_add(1, std::memory_order_relaxed);
-  });
-  for (size_t i = 0; i < hits.size(); ++i) {
-    EXPECT_EQ(hits[i].load(), 1) << i;
-  }
-}
-
-TEST(ThreadPoolTest, ZeroWorkersRunInline) {
-  ThreadPool pool(0);
-  int ran = 0;
-  pool.Submit([&] { ran = 1; }).get();
-  EXPECT_EQ(ran, 1);
-  pool.ParallelFor(5, [&](size_t) { ++ran; });
-  EXPECT_EQ(ran, 6);
-}
+// The ThreadPool's own behavior (affinity routing, stealing, the nested-
+// blocking guard) is pinned down in thread_pool_test.cc.
 
 }  // namespace
 }  // namespace crackdb
