@@ -45,6 +45,9 @@ struct ThroughputOptions {
   std::string engine = "sideways";
   size_t update_pct = 10;
   size_t point_pct = 10;
+  /// Range queries follow a shifting hotspot (DriftingHotspotGen) instead
+  /// of uniform ranges — the adaptive-repartitioning stress shape.
+  bool drift = false;
 };
 
 PartitionSpec MakeSpec(const ThroughputOptions& opt) {
@@ -79,6 +82,17 @@ ClientResult RunClient(Database* db, size_t rows, uint64_t seed, size_t ops,
   const double selectivity =
       std::min(0.01, 2'000.0 / static_cast<double>(rows));
 
+  DriftingHotspotGen drift;
+  drift.domain_lo = 1;
+  drift.domain_hi = kDomain;
+  drift.selectivity = selectivity;
+  // The phase clock advances only on range queries, so size four phases
+  // from the expected range-query count, not from all ops.
+  const size_t expected_range_ops =
+      ops * (100 - std::min<size_t>(100, opt.update_pct + opt.point_pct)) /
+      100;
+  drift.queries_per_phase = std::max<size_t>(1, expected_range_ops / 4);
+
   result.latencies_micros.reserve(ops);
   for (size_t op = 0; op < ops; ++op) {
     const double dice = rng.NextDouble();
@@ -110,7 +124,9 @@ ClientResult RunClient(Database* db, size_t rows, uint64_t seed, size_t ops,
       spec.projections = {AttrName(7)};
     } else {
       spec.selections = {
-          {AttrName(1), RandomRange(&rng, 1, kDomain, selectivity)},
+          {AttrName(1), opt.drift
+                            ? drift.Next(&rng)
+                            : RandomRange(&rng, 1, kDomain, selectivity)},
           {AttrName(2 + static_cast<size_t>(rng.Uniform(0, 4))),
            RandomRange(&rng, 1, kDomain, 0.5)}};
       spec.projections = {AttrName(7)};
@@ -176,9 +192,10 @@ void Run(const BenchArgs& args, const ThroughputOptions& opt) {
                                            &data_rng);
   std::printf(
       "# concurrent throughput: engine=%s rows=%zu ops/client=%zu "
-      "partitions=%zu pool=%zu update%%=%zu point%%=%zu\n",
+      "partitions=%zu pool=%zu update%%=%zu point%%=%zu drift=%s\n",
       effective.engine.c_str(), rows, ops_per_client, effective.partitions,
-      effective.pool, effective.update_pct, effective.point_pct);
+      effective.pool, effective.update_pct, effective.point_pct,
+      effective.drift ? "on" : "off");
 
   if (!VerifyAgainstPlain(source, effective)) {
     std::fprintf(stderr, "FAILED: sharded answers diverge from plain scan\n");
@@ -300,6 +317,12 @@ int main(int argc, char** argv) {
        [&opt](const char* a) {
          if (std::strncmp(a, "--point-pct=", 12) != 0) return false;
          opt.point_pct = static_cast<size_t>(std::atoll(a + 12));
+         return true;
+       }},
+      {"--drift", "range queries follow a shifting hotspot (default uniform)",
+       [&opt](const char* a) {
+         if (std::strcmp(a, "--drift") != 0) return false;
+         opt.drift = true;
          return true;
        }},
   };

@@ -1,0 +1,65 @@
+#ifndef CRACKDB_ADAPTIVE_ADAPTIVE_CONFIG_H_
+#define CRACKDB_ADAPTIVE_ADAPTIVE_CONFIG_H_
+
+#include <cstddef>
+
+namespace crackdb {
+
+/// Knobs of the adaptive-repartitioning subsystem (src/adaptive): when the
+/// workload histogram is consulted, what counts as a hot or cold
+/// partition, and the hysteresis that keeps the partition map from
+/// thrashing. Off by default; enable per table in
+/// Database::RegisterSharded. Only range-partitioned tables adapt — hash
+/// sharding is balanced by construction, so ticks on hash tables are
+/// no-ops.
+///
+/// The no-thrash invariant the defaults encode: `hot_share` must be well
+/// above `cold_share`, so the two halves of a fresh split (each carrying
+/// roughly half the hot traffic) can neither re-split immediately nor be
+/// merged straight back. `cooldown_ticks` plus the histogram reset after
+/// every executed action add time-based hysteresis on top; see
+/// RepartitionPolicy.
+struct AdaptiveConfig {
+  /// Master switch. When false the table keeps its load-time partition map
+  /// and MaybeRepartition is a no-op (the control arm of
+  /// bench_adaptive_repartition).
+  bool enabled = false;
+
+  /// Ops (queries + writes) between automatic background ticks. 0 = no
+  /// background trigger; repartitioning then happens only on manual
+  /// Database::MaybeRepartition calls.
+  size_t trigger_interval = 0;
+
+  /// Minimum observed accesses (histogram total) before any decision.
+  size_t min_accesses = 64;
+
+  /// Split a partition when its share of all observed accesses exceeds
+  /// this.
+  double hot_share = 0.40;
+
+  /// Merge an adjacent partition pair when their *combined* access share
+  /// is below this.
+  double cold_share = 0.05;
+
+  /// Never split a partition holding fewer live rows than this.
+  size_t min_partition_rows = 2048;
+
+  /// Bounds on the partition count the policy may reach.
+  size_t max_partitions = 64;
+  size_t min_partitions = 2;
+
+  /// Ticks to sit out after an executed split/merge (hysteresis).
+  size_t cooldown_ticks = 2;
+
+  /// Per-tick decay factor applied to the access counters, so the
+  /// histogram tracks the recent workload instead of its full history.
+  double decay = 0.5;
+
+  /// Bounded per-partition sample of predicate boundaries (split-point
+  /// candidates) kept by the workload histogram.
+  size_t sketch_capacity = 64;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ADAPTIVE_ADAPTIVE_CONFIG_H_

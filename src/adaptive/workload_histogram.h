@@ -1,0 +1,83 @@
+#ifndef CRACKDB_ADAPTIVE_WORKLOAD_HISTOGRAM_H_
+#define CRACKDB_ADAPTIVE_WORKLOAD_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crackdb {
+
+/// Per-partition view of the workload the serving layer has actually seen:
+/// access and latency counters plus a bounded ring of predicate boundaries
+/// on the organizing attribute — the split-point candidates the
+/// RepartitionPolicy chooses from. This is the "self-organizing" sensor of
+/// the adaptive subsystem: it is fed from ShardedEngine::ExecuteBatch (one
+/// RecordAccess per partition group, one RecordBoundary per organizing
+/// selection), so the cost per query is a couple of relaxed atomic adds.
+///
+/// Concurrency contract: RecordAccess/RecordBoundary are called by query
+/// threads holding the partition map gate *shared*; Reset (which resizes
+/// the per-partition cells) is called only under the gate held
+/// *exclusively*, i.e. with no recorder in flight. Snapshot and Decay are
+/// called from the single repartition tick thread and tolerate concurrent
+/// recorders (counters are atomics, the sketch ring has its own mutex).
+class WorkloadHistogram {
+ public:
+  explicit WorkloadHistogram(size_t num_partitions,
+                             size_t sketch_capacity = 64);
+
+  size_t num_partitions() const { return cells_.size(); }
+
+  /// Charges `sub_queries` accesses and `micros` of partition-local work
+  /// to partition `p`.
+  void RecordAccess(size_t p, size_t sub_queries, double micros);
+
+  /// Records `boundary` (the first value of a would-be right slice) as a
+  /// split-point candidate for partition `p`. Bounded: the newest
+  /// `sketch_capacity` samples survive.
+  void RecordBoundary(size_t p, Value boundary);
+
+  struct PartitionSnapshot {
+    uint64_t accesses = 0;
+    double micros = 0;
+    std::vector<Value> boundaries;  // unordered recent sample
+  };
+  struct Snapshot {
+    uint64_t total_accesses = 0;
+    std::vector<PartitionSnapshot> partitions;
+  };
+  /// `with_boundaries = false` skips the sketch-ring copies (and their
+  /// per-cell mutexes) — for counter-only consumers like Stats.
+  Snapshot Snap(bool with_boundaries = true) const;
+
+  /// Ages the access/latency counters by `factor` in [0, 1] (recency
+  /// weighting between ticks). Boundary samples are kept — they are
+  /// already bounded and newest-wins.
+  void Decay(double factor);
+
+  /// Rebuilds the histogram for a new partition count (after a split or
+  /// merge). Caller holds the partition map gate exclusively.
+  void Reset(size_t num_partitions);
+
+ private:
+  /// One partition's counters. Boxed: atomics are neither movable nor
+  /// copyable, and Reset rebuilds the vector.
+  struct Cell {
+    std::atomic<uint64_t> accesses{0};
+    std::atomic<uint64_t> micros{0};  // accumulated whole microseconds
+    std::mutex sketch_mu;
+    std::vector<Value> ring;
+    size_t ring_next = 0;
+  };
+
+  size_t sketch_capacity_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_ADAPTIVE_WORKLOAD_HISTOGRAM_H_

@@ -4,7 +4,14 @@
 
 namespace crackdb::bench {
 
-std::string AttrName(size_t i) { return "A" + std::to_string(i); }
+std::string AttrName(size_t i) {
+  // Built with += rather than operator+(const char*, string&&): the
+  // latter trips a GCC 12 -Wrestrict false positive at -O3, breaking
+  // -DCMAKE_BUILD_TYPE=Release under -Werror.
+  std::string name = "A";
+  name += std::to_string(i);
+  return name;
+}
 
 Relation& CreateUniformRelation(Catalog* catalog, const std::string& name,
                                 size_t num_attrs, size_t num_rows,
@@ -45,6 +52,65 @@ RangePredicate SkewedRangeGen::Next(Rng* rng) const {
   const Value lo = std::min(hot_end + 1, domain_hi);
   const Value start = rng->Uniform(lo, std::max(lo, domain_hi - width));
   return RangePredicate::Closed(start, start + width);
+}
+
+RangePredicate DriftingHotspotGen::HotWindow() const {
+  const Value span = domain_hi - domain_lo + 1;
+  const Value window = std::max<Value>(
+      1, static_cast<Value>(hot_fraction * static_cast<double>(span)));
+  const Value step = std::max<Value>(
+      1, static_cast<Value>(drift_step * static_cast<double>(span)));
+  const Value travel = std::max<Value>(1, span - window + 1);
+  const Value offset = static_cast<Value>(
+      (static_cast<uint64_t>(phase()) * static_cast<uint64_t>(step)) %
+      static_cast<uint64_t>(travel));
+  const Value lo = domain_lo + offset;
+  return RangePredicate::Closed(lo, std::min(domain_hi, lo + window - 1));
+}
+
+RangePredicate DriftingHotspotGen::Next(Rng* rng) {
+  const RangePredicate hot = HotWindow();
+  ++issued_;
+  const Value span = domain_hi - domain_lo + 1;
+  const Value width =
+      std::max<Value>(0, static_cast<Value>(selectivity *
+                                            static_cast<double>(span)) - 1);
+  if (rng->Bernoulli(hot_probability)) {
+    const Value hi = std::max(hot.low, hot.high - width);
+    const Value start = rng->Uniform(hot.low, hi);
+    return RangePredicate::Closed(start,
+                                  std::min(domain_hi, start + width));
+  }
+  // Cold tail: anywhere in the domain, same width.
+  const Value start = rng->Uniform(domain_lo, std::max(domain_lo,
+                                                       domain_hi - width));
+  return RangePredicate::Closed(start, start + width);
+}
+
+RangePredicate ZoomInGen::Window() const {
+  const Value span = domain_hi - domain_lo + 1;
+  double fraction = 1.0;
+  for (size_t l = 0; l < level(); ++l) fraction *= shrink;
+  const Value width = std::max<Value>(
+      1, static_cast<Value>(fraction * static_cast<double>(span)));
+  const Value focus =
+      domain_lo + static_cast<Value>(focus_fraction *
+                                     static_cast<double>(span - 1));
+  const Value lo =
+      std::clamp(focus - width / 2, domain_lo, domain_hi - width + 1);
+  return RangePredicate::Closed(lo, lo + width - 1);
+}
+
+RangePredicate ZoomInGen::Next(Rng* rng) {
+  const RangePredicate window = Window();
+  ++issued_;
+  const Value window_span = window.high - window.low + 1;
+  const Value width = std::max<Value>(
+      0, static_cast<Value>(selectivity *
+                            static_cast<double>(window_span)) - 1);
+  const Value start =
+      rng->Uniform(window.low, std::max(window.low, window.high - width));
+  return RangePredicate::Closed(start, std::min(window.high, start + width));
 }
 
 size_t ApplyRandomUpdates(Relation* relation, Value domain, size_t count,

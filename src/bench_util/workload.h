@@ -1,6 +1,7 @@
 #ifndef CRACKDB_BENCH_UTIL_WORKLOAD_H_
 #define CRACKDB_BENCH_UTIL_WORKLOAD_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <set>
 #include <string>
@@ -44,6 +45,66 @@ struct SkewedRangeGen {
   double selectivity = 0.2;
 
   RangePredicate Next(Rng* rng) const;
+};
+
+/// A *shifting* hotspot (the adaptive-repartitioning stress shape): a hot
+/// window of `hot_fraction` of the domain receives `hot_probability` of
+/// the queries, and the window slides by `drift_step` of the domain every
+/// `queries_per_phase` calls (wrapping around), so any partition map tuned
+/// to the current hotspot goes stale a few thousand queries later. Used by
+/// bench_adaptive_repartition and bench_concurrent_throughput --drift.
+class DriftingHotspotGen {
+ public:
+  Value domain_lo = 1;
+  Value domain_hi = 10'000'000;
+  double hot_fraction = 0.10;
+  double hot_probability = 0.95;
+  /// Query width relative to the full domain.
+  double selectivity = 0.01;
+  size_t queries_per_phase = 2'000;
+  /// Window advance per phase, as a fraction of the domain.
+  double drift_step = 0.15;
+
+  /// The next query's range; advances the phase clock.
+  RangePredicate Next(Rng* rng);
+
+  /// Completed phases (window moves) so far.
+  size_t phase() const { return issued_ / queries_per_phase; }
+  /// Current hot window, for reporting.
+  RangePredicate HotWindow() const;
+
+ private:
+  size_t issued_ = 0;
+};
+
+/// A zoom-in session (the paper's drifting-analyst shape, sharpened): the
+/// queried window starts as the whole domain and shrinks by `shrink`
+/// around a fixed focus point every `queries_per_level` queries, down to
+/// `max_levels`. Early queries are broad scans; late queries hammer an
+/// ever-narrower value region — the workload that rewards recursively
+/// splitting the focus partition.
+class ZoomInGen {
+ public:
+  Value domain_lo = 1;
+  Value domain_hi = 10'000'000;
+  /// Focus position as a fraction of the domain.
+  double focus_fraction = 0.7;
+  double shrink = 0.5;
+  /// Query width relative to the *current* window.
+  double selectivity = 0.2;
+  size_t queries_per_level = 1'000;
+  size_t max_levels = 8;
+
+  RangePredicate Next(Rng* rng);
+
+  size_t level() const {
+    return std::min(issued_ / queries_per_level, max_levels);
+  }
+  /// Current zoom window, for reporting.
+  RangePredicate Window() const;
+
+ private:
+  size_t issued_ = 0;
 };
 
 /// Applies `count` random updates: alternating inserts of fresh uniform

@@ -1,0 +1,38 @@
+#include "common/rw_gate.h"
+
+namespace crackdb {
+
+void RwGate::EnterShared(bool urgent) {
+  std::unique_lock<std::mutex> lock(mu_);
+  readers_cv_.wait(lock, [&] {
+    return !writer_active_ && (urgent || waiting_writers_ == 0);
+  });
+  ++active_readers_;
+}
+
+void RwGate::ExitShared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  --active_readers_;
+  if (active_readers_ == 0 && waiting_writers_ > 0) {
+    writer_cv_.notify_one();
+  }
+}
+
+void RwGate::EnterExclusive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_writers_;
+  writer_cv_.wait(lock, [&] { return !writer_active_ && active_readers_ == 0; });
+  --waiting_writers_;
+  writer_active_ = true;
+}
+
+void RwGate::ExitExclusive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  writer_active_ = false;
+  // Wake everyone: the next holder may be either side, and readers blocked
+  // on a formerly-pending writer must re-evaluate.
+  writer_cv_.notify_one();
+  readers_cv_.notify_all();
+}
+
+}  // namespace crackdb

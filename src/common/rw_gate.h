@@ -1,0 +1,86 @@
+#ifndef CRACKDB_COMMON_RW_GATE_H_
+#define CRACKDB_COMMON_RW_GATE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace crackdb {
+
+/// A reader/writer gate with an explicit fairness policy, built for the
+/// adaptive-repartitioning swap protocol (docs/ARCHITECTURE.md, "Adaptive
+/// repartitioning"). std::shared_mutex leaves reader-vs-writer preference
+/// to the implementation, which makes the one scenario we must exclude —
+/// a client thread that holds the gate shared while it waits for pool
+/// workers whose next task would itself block on the gate — depend on the
+/// platform. This gate pins the policy down:
+///
+///  - a *pending* writer blocks new ordinary readers (so the writer is not
+///    starved by an unbroken stream of queries), but
+///  - *urgent* readers (pool workers running an already-admitted query's
+///    tasks) pass a pending writer, so work a shared holder is waiting on
+///    can always drain and the writer's turn always comes;
+///  - an *active* writer excludes every reader, urgent or not. A writer is
+///    only active when the reader count is zero, so no thread can be both
+///    holding the gate shared and waiting on the writer's work.
+///
+/// Writers must never block on work scheduled behind the gate (the swap
+/// protocol is pure in-memory surgery), which closes the cycle: readers
+/// drain -> writer runs -> readers resume.
+class RwGate {
+ public:
+  RwGate() = default;
+  RwGate(const RwGate&) = delete;
+  RwGate& operator=(const RwGate&) = delete;
+
+  /// Acquires shared. `urgent` readers ignore pending (not active)
+  /// writers; pass true from pool workers so queued query tasks can never
+  /// deadlock against a waiting swap.
+  void EnterShared(bool urgent = false);
+  void ExitShared();
+
+  /// Acquires exclusive: waits for active readers to drain while blocking
+  /// new ordinary readers.
+  void EnterExclusive();
+  void ExitExclusive();
+
+  /// RAII shared hold.
+  class SharedGuard {
+   public:
+    explicit SharedGuard(RwGate& gate, bool urgent = false) : gate_(gate) {
+      gate_.EnterShared(urgent);
+    }
+    ~SharedGuard() { gate_.ExitShared(); }
+    SharedGuard(const SharedGuard&) = delete;
+    SharedGuard& operator=(const SharedGuard&) = delete;
+
+   private:
+    RwGate& gate_;
+  };
+
+  /// RAII exclusive hold.
+  class ExclusiveGuard {
+   public:
+    explicit ExclusiveGuard(RwGate& gate) : gate_(gate) {
+      gate_.EnterExclusive();
+    }
+    ~ExclusiveGuard() { gate_.ExitExclusive(); }
+    ExclusiveGuard(const ExclusiveGuard&) = delete;
+    ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
+
+   private:
+    RwGate& gate_;
+  };
+
+ private:
+  std::mutex mu_;
+  std::condition_variable readers_cv_;
+  std::condition_variable writer_cv_;
+  size_t active_readers_ = 0;
+  size_t waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_COMMON_RW_GATE_H_

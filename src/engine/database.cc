@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "adaptive/repartitioner.h"
+
 namespace crackdb {
 
 namespace {
@@ -28,16 +30,31 @@ Database::Database(DatabaseOptions options) {
 }
 
 Database::~Database() {
-  // Members destroy in reverse declaration order, which would tear the
-  // tables down while queued async tasks still reference them; join the
-  // pool first (its destructor drains the queues).
+  // In-flight background repartition ticks reference their tables and may
+  // block on the pool (engine builds), so join them first, then the pool
+  // (members destroy in reverse declaration order, which would otherwise
+  // tear the tables down while queued async tasks still reference them).
+  // Collect first, then join with tables_mu_ *released*: a tick thread's
+  // catalog hooks take tables_mu_ exclusively, so joining under the lock
+  // would deadlock. No one registers tables during destruction.
+  std::vector<Table*> tables;
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    tables.reserve(tables_.size());
+    for (auto& [name, t] : tables_) tables.push_back(t.get());
+  }
+  for (Table* t : tables) {
+    std::lock_guard<std::mutex> tick_lock(t->tick_thread_mu);
+    if (t->tick_thread.joinable()) t->tick_thread.join();
+  }
   pool_.reset();
 }
 
 void Database::RegisterSharded(const std::string& table,
                                const Relation& source,
                                const PartitionSpec& spec,
-                               const std::string& engine_kind) {
+                               const std::string& engine_kind,
+                               const AdaptiveConfig& adaptive) {
   EngineFactory factory = MakeEngineFactory(engine_kind);
   if (!factory) Die("unknown engine kind", engine_kind);
 
@@ -49,6 +66,15 @@ void Database::RegisterSharded(const std::string& table,
       Partitioner::Partition(&catalog_, source, spec));
   entry->engine = std::make_unique<ShardedEngine>(
       entry->relation, std::move(factory), pool_.get());
+  entry->adaptive = adaptive;
+  // Only range-sharded tables adapt: hash sharding is balanced by
+  // construction, and slices are the unit the repartitioner reshapes.
+  if (adaptive.enabled && spec.kind == PartitionSpec::Kind::kRange) {
+    entry->histogram = std::make_unique<WorkloadHistogram>(
+        entry->relation.num_partitions(), adaptive.sketch_capacity);
+    entry->policy = std::make_unique<RepartitionPolicy>(adaptive);
+    entry->engine->SetHistogram(entry->histogram.get());
+  }
   if (!tables_.emplace(table, std::move(entry)).second) {
     Die("duplicate table", table);
   }
@@ -59,7 +85,9 @@ QueryResult Database::Query(const std::string& table, const QuerySpec& spec) {
   t.queries.fetch_add(1, std::memory_order_relaxed);
   // No table-level lock: the sharded engine locks partition by partition
   // and merges outside the locks. Run is the batch pipeline with one spec.
-  return t.engine->Run(spec);
+  QueryResult result = t.engine->Run(spec);
+  NoteOps(t, 1);
+  return result;
 }
 
 std::future<QueryResult> Database::QueryAsync(const std::string& table,
@@ -74,12 +102,14 @@ std::future<QueryResult> Database::QueryAsync(const std::string& table,
   std::future<QueryResult> future = task->get_future();
   if (pool_ == nullptr) {
     (*task)();
+    NoteOps(t, 1);
     return future;
   }
   // Schedule the whole query next to its data: the home partition's index
   // is the affinity key. Inside the worker, Run detects it must not block
   // on the pool and executes its partition groups inline.
   pool_->Submit(home, [task] { (*task)(); });
+  NoteOps(t, 1);
   return future;
 }
 
@@ -87,48 +117,61 @@ std::vector<QueryResult> Database::QueryBatch(
     const std::string& table, std::span<const QuerySpec> specs) {
   Table& t = FindTable(table);
   t.queries.fetch_add(specs.size(), std::memory_order_relaxed);
-  return t.engine->RunBatch(specs);
+  std::vector<QueryResult> results = t.engine->RunBatch(specs);
+  NoteOps(t, specs.size());
+  return results;
 }
 
 void Database::ApplyViews(Table& t, std::span<const WriteView> ops,
                           WriteOutcome* outcomes) {
   if (ops.empty()) return;
-  // One writer_mu acquisition commits the whole batch. Ops apply strictly
-  // in order (so keys and delete outcomes match the one-op loop); the
-  // partition lock is held across consecutive ops on the same partition
-  // and re-acquired only on a switch, so clustered batches amortize it.
-  std::unique_lock<std::shared_mutex> writer(t.writer_mu);
-  std::unique_lock<std::shared_mutex> partition;
-  size_t locked = t.relation.num_partitions();  // sentinel: none held
-  uint64_t inserts = 0, deletes = 0;
-  for (size_t i = 0; i < ops.size(); ++i) {
-    const WriteView& op = ops[i];
-    size_t target;
-    if (op.kind == WriteOp::Kind::kInsert) {
-      target =
-          t.relation.PartitionOf(op.values[t.relation.organizing_ordinal()]);
-    } else {
-      const std::optional<PartitionedRelation::Location> loc =
-          t.relation.Locate(op.key);
-      if (!loc.has_value()) continue;  // outcome stays {false, kInvalidKey}
-      target = loc->partition;
+  {
+    // The partition map must be stable for the whole commit (routing,
+    // mutexes, and the global-key router all live in it); writers enter
+    // the gate as ordinary (non-urgent) readers — they run on client
+    // threads and may wait out a pending swap.
+    RwGate::SharedGuard map_guard(t.relation.map_gate());
+    // One writer_mu acquisition commits the whole batch. Ops apply
+    // strictly in order (so keys and delete outcomes match the one-op
+    // loop); the partition lock is held across consecutive ops on the
+    // same partition and re-acquired only on a switch, so clustered
+    // batches amortize it.
+    std::unique_lock<std::shared_mutex> writer(t.writer_mu);
+    std::unique_lock<std::shared_mutex> partition;
+    size_t locked = t.relation.num_partitions();  // sentinel: none held
+    uint64_t inserts = 0, deletes = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const WriteView& op = ops[i];
+      size_t target;
+      if (op.kind == WriteOp::Kind::kInsert) {
+        target =
+            t.relation.PartitionOf(op.values[t.relation.organizing_ordinal()]);
+      } else {
+        const std::optional<PartitionedRelation::Location> loc =
+            t.relation.Locate(op.key);
+        if (!loc.has_value()) continue;  // outcome stays {false, kInvalidKey}
+        target = loc->partition;
+      }
+      if (target != locked) {
+        if (partition.owns_lock()) partition.unlock();
+        partition = std::unique_lock<std::shared_mutex>(
+            t.relation.partition_mutex(target));
+        locked = target;
+      }
+      if (op.kind == WriteOp::Kind::kInsert) {
+        outcomes[i] = {true, t.relation.AppendTo(target, op.values)};
+        ++inserts;
+      } else if (t.relation.Delete(op.key)) {
+        outcomes[i] = {true, op.key};
+        ++deletes;
+      }
     }
-    if (target != locked) {
-      if (partition.owns_lock()) partition.unlock();
-      partition = std::unique_lock<std::shared_mutex>(
-          t.relation.partition_mutex(target));
-      locked = target;
-    }
-    if (op.kind == WriteOp::Kind::kInsert) {
-      outcomes[i] = {true, t.relation.AppendTo(target, op.values)};
-      ++inserts;
-    } else if (t.relation.Delete(op.key)) {
-      outcomes[i] = {true, op.key};
-      ++deletes;
-    }
+    if (inserts > 0) t.inserts.fetch_add(inserts, std::memory_order_relaxed);
+    if (deletes > 0) t.deletes.fetch_add(deletes, std::memory_order_relaxed);
   }
-  if (inserts > 0) t.inserts.fetch_add(inserts, std::memory_order_relaxed);
-  if (deletes > 0) t.deletes.fetch_add(deletes, std::memory_order_relaxed);
+  // Outside every lock: a crossed trigger boundary may spawn a tick
+  // thread, which re-enters the gate on its own.
+  NoteOps(t, ops.size());
 }
 
 std::vector<WriteOutcome> Database::ApplyBatch(const std::string& table,
@@ -158,23 +201,138 @@ bool Database::Delete(const std::string& table, Key global_key) {
   return outcome.ok;
 }
 
+namespace {
+
+/// Clears the tick-in-flight flag on every exit path: an exception
+/// escaping a tick (e.g. bad_alloc building a shard engine) must not
+/// permanently disable adaptivity for the table.
+struct TickFlagClearer {
+  std::atomic<bool>& flag;
+  ~TickFlagClearer() { flag.store(false); }
+};
+
+}  // namespace
+
+bool Database::MaybeRepartition(const std::string& table) {
+  Table& t = FindTable(table);
+  if (!t.adaptive.enabled || t.histogram == nullptr) return false;
+  // At most one tick in flight per table, manual or background.
+  if (t.tick_in_flight.exchange(true)) return false;
+  TickFlagClearer clearer{t.tick_in_flight};
+  return RunTick(t);
+}
+
+void Database::NoteOps(Table& t, size_t n) {
+  if (n == 0 || !t.adaptive.enabled || t.histogram == nullptr ||
+      t.adaptive.trigger_interval == 0) {
+    return;
+  }
+  const uint64_t interval = t.adaptive.trigger_interval;
+  const uint64_t before = t.ops_seen.fetch_add(n, std::memory_order_relaxed);
+  if (before / interval == (before + n) / interval) return;  // no boundary
+  if (t.tick_in_flight.exchange(true)) return;
+  std::lock_guard<std::mutex> lock(t.tick_thread_mu);
+  // The previous tick thread (if any) observedly finished: it cleared
+  // tick_in_flight before exiting, so this join returns immediately.
+  if (t.tick_thread.joinable()) t.tick_thread.join();
+  t.tick_thread = std::thread([this, &t] {
+    TickFlagClearer clearer{t.tick_in_flight};
+    RunTick(t);
+  });
+}
+
+bool Database::RunTick(Table& t) {
+  // Sensor -> decision inputs. Covers and row counts are read under the
+  // gate (shared) + per-partition shared locks, like Stats; the histogram
+  // snapshot tolerates concurrent recorders.
+  WorkloadHistogram::Snapshot snap = t.histogram->Snap();
+  std::vector<RepartitionPolicy::PartitionInput> inputs;
+  {
+    RwGate::SharedGuard gate(t.relation.map_gate());
+    const size_t n = t.relation.num_partitions();
+    inputs.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::shared_lock<std::shared_mutex> lock(t.relation.partition_mutex(i));
+      inputs[i].live_rows = t.relation.partition(i).num_live_rows();
+      inputs[i].cover_lo = t.relation.SliceCoverLo(i);
+      inputs[i].cover_hi = t.relation.SliceCoverHi(i);
+      if (i < snap.partitions.size()) {
+        inputs[i].accesses = snap.partitions[i].accesses;
+        inputs[i].split_candidates = std::move(snap.partitions[i].boundaries);
+      }
+    }
+  }
+  const RepartitionDecision decision = t.policy->Tick(inputs);
+  t.histogram->Decay(t.adaptive.decay);
+  if (decision.kind == RepartitionDecision::Kind::kNone) return false;
+
+  Repartitioner::Hooks hooks;
+  hooks.relation = &t.relation;
+  hooks.engine = t.engine.get();
+  hooks.histogram = t.histogram.get();
+  hooks.pool = pool_.get();
+  hooks.create_relation = [this](const std::string& name) -> Relation& {
+    std::unique_lock<std::shared_mutex> lock(tables_mu_);
+    return catalog_.CreateRelation(name);
+  };
+  hooks.drop_relation = [this](const std::string& name) {
+    std::unique_lock<std::shared_mutex> lock(tables_mu_);
+    catalog_.DropRelation(name);
+  };
+  Repartitioner repartitioner(std::move(hooks));
+  if (!repartitioner.Execute(decision)) return false;
+  t.policy->NoteExecuted(decision);
+  if (decision.kind == RepartitionDecision::Kind::kSplit) {
+    t.splits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    t.merges.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
 TableStats Database::Stats(const std::string& table) const {
   Table& t = FindTable(table);
   TableStats stats;
-  stats.engine = t.engine->name();
-  stats.partitions = t.relation.num_partitions();
-  for (size_t i = 0; i < t.relation.num_partitions(); ++i) {
-    // Shared: consistent per-partition snapshot that excludes writers and
-    // cracking readers but runs concurrently with other snapshots.
-    std::shared_lock<std::shared_mutex> lock(t.relation.partition_mutex(i));
-    const Relation& part = t.relation.partition(i);
-    stats.rows += part.num_rows();
-    stats.live_rows += part.num_live_rows();
-    stats.deleted += part.num_deleted();
+  {
+    RwGate::SharedGuard gate(t.relation.map_gate());
+    // Under the gate the histogram's partition count is stable and
+    // matches the map (a swap resets it under the gate held exclusively).
+    // Counters only: Stats never reads the boundary sketches.
+    WorkloadHistogram::Snapshot hist;
+    if (t.histogram != nullptr) {
+      hist = t.histogram->Snap(/*with_boundaries=*/false);
+    }
+    stats.engine = t.engine->name();
+    stats.partitions = t.relation.num_partitions();
+    const bool range = t.relation.spec().kind == PartitionSpec::Kind::kRange;
+    stats.per_partition.resize(stats.partitions);
+    for (size_t i = 0; i < stats.partitions; ++i) {
+      // Shared: consistent per-partition snapshot that excludes writers
+      // and cracking readers but runs concurrently with other snapshots.
+      std::shared_lock<std::shared_mutex> lock(t.relation.partition_mutex(i));
+      const Relation& part = t.relation.partition(i);
+      PartitionStats& ps = stats.per_partition[i];
+      ps.rows = part.num_rows();
+      ps.live_rows = part.num_live_rows();
+      ps.deleted = part.num_deleted();
+      if (range) {
+        ps.cover_lo = t.relation.SliceCoverLo(i);
+        ps.cover_hi = t.relation.SliceCoverHi(i);
+      }
+      if (i < hist.partitions.size()) {
+        ps.accesses = hist.partitions[i].accesses;
+        ps.access_micros = hist.partitions[i].micros;
+      }
+      stats.rows += ps.rows;
+      stats.live_rows += ps.live_rows;
+      stats.deleted += ps.deleted;
+    }
   }
   stats.queries = t.queries.load(std::memory_order_relaxed);
   stats.inserts = t.inserts.load(std::memory_order_relaxed);
   stats.deletes = t.deletes.load(std::memory_order_relaxed);
+  stats.splits = t.splits.load(std::memory_order_relaxed);
+  stats.merges = t.merges.load(std::memory_order_relaxed);
   stats.cost = t.engine->CostSnapshot();
   return stats;
 }

@@ -5,13 +5,18 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "adaptive/adaptive_config.h"
+#include "adaptive/repartition_policy.h"
+#include "adaptive/workload_histogram.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
 #include "engine/sharded_engine.h"
@@ -69,6 +74,23 @@ struct WriteOutcome {
   Key key = kInvalidKey;
 };
 
+/// One partition's slice of a TableStats snapshot: tuple counts plus —
+/// when adaptive repartitioning is enabled — the workload histogram's view
+/// of the partition, so benches and tests can observe skew (and watch a
+/// hot partition split) without poking internals.
+struct PartitionStats {
+  size_t rows = 0;
+  size_t live_rows = 0;
+  size_t deleted = 0;
+  /// Range sharding: the domain values this slice covers.
+  Value cover_lo = 0;
+  Value cover_hi = 0;
+  /// Workload histogram counters (zero when adaptivity is off): decayed
+  /// access count and partition-local execution micros.
+  uint64_t accesses = 0;
+  double access_micros = 0;
+};
+
 /// View of one table. Each partition is read under its shared lock, so no
 /// value reflects a half-applied write or mid-crack state; partitions are
 /// visited one at a time, though, so under live traffic the totals (and
@@ -84,8 +106,13 @@ struct TableStats {
   uint64_t queries = 0;
   uint64_t inserts = 0;
   uint64_t deletes = 0;
+  /// Adaptive repartitioning actions executed so far.
+  uint64_t splits = 0;
+  uint64_t merges = 0;
   /// Summed per-partition cost breakdown (select/reconstruct/prepare).
   CostBreakdown cost;
+  /// Per-partition breakdown, in partition order (see PartitionStats).
+  std::vector<PartitionStats> per_partition;
 };
 
 /// The thread-safe serving facade over the partitioned execution layer:
@@ -95,20 +122,26 @@ struct TableStats {
 /// Every public method is safe to call from any number of client threads
 /// concurrently. The discipline (documented in docs/ARCHITECTURE.md):
 ///
-///   - queries take no table-level lock at all; the ShardedEngine locks
-///     each partition exclusively only while cracking it and merges
-///     results outside the locks;
-///   - writers (Insert/Delete) serialize per table on `writer_mu` (which
-///     also guards the global-key router) and then take only the target
-///     partition's exclusive lock, so a writer never blocks queries on
-///     the other partitions;
-///   - Stats takes the per-partition locks *shared*, giving concurrent,
-///     consistent snapshots that exclude writers and cracking readers.
+///   - queries take no table-level *lock*; the ShardedEngine holds the
+///     relation's map gate shared (one uncontended mutex round-trip, only
+///     ever contended by an adaptive repartition swap), locks each
+///     partition exclusively only while cracking it, and merges results
+///     outside the locks;
+///   - writers (Insert/Delete) hold the map gate shared, serialize per
+///     table on `writer_mu` (which also guards the global-key router),
+///     and then take only the target partition's exclusive lock, so a
+///     writer never blocks queries on the other partitions;
+///   - Stats holds the gate shared and takes the per-partition locks
+///     *shared*, giving concurrent, consistent snapshots that exclude
+///     writers and cracking readers;
+///   - adaptive repartitioning (src/adaptive) swaps new shards into the
+///     map under the gate held exclusively — see docs/ARCHITECTURE.md,
+///     "Adaptive repartitioning".
 ///
-/// Lock order is always: tables map -> writer_mu -> partition mutex, and
-/// queries skip the first two levels, so the hierarchy is cycle-free.
-/// Partition locks are never nested, including inside ApplyBatch (one is
-/// released before the next is taken).
+/// Lock order is always: tables map -> map gate -> writer_mu -> partition
+/// mutex; queries skip the tables map and writer_mu, so the hierarchy is
+/// cycle-free. Partition locks are never nested, including inside
+/// ApplyBatch (one is released before the next is taken).
 ///
 /// There is exactly one execution path: Query, QueryAsync, and QueryBatch
 /// all funnel into the ShardedEngine batch scheduler, and Insert/Delete
@@ -134,9 +167,27 @@ class Database {
   /// thread-safe against in-flight operations on the same table name;
   /// registration is expected at startup (concurrent registration of
   /// *different* tables is fine).
+  ///
+  /// `adaptive` (off by default) arms workload-aware repartitioning for
+  /// this table: queries feed a WorkloadHistogram, and each tick — manual
+  /// MaybeRepartition() or, with `trigger_interval > 0`, an automatic
+  /// background tick every that many ops — may hot-split or cold-merge
+  /// partitions online (see src/adaptive/ and docs/ARCHITECTURE.md,
+  /// "Adaptive repartitioning"). Range sharding only; on hash-sharded
+  /// tables ticks are no-ops.
   void RegisterSharded(const std::string& table, const Relation& source,
                        const PartitionSpec& spec,
-                       const std::string& engine_kind);
+                       const std::string& engine_kind,
+                       const AdaptiveConfig& adaptive = {});
+
+  /// One adaptive-repartitioning tick, run inline on the calling (client)
+  /// thread: consults the workload histogram and policy, and executes at
+  /// most one hot-split or cold-merge. Returns true iff an action was
+  /// executed. No-op (false) when adaptivity is off for the table, the
+  /// table is hash-sharded, or another tick is already in flight. Must
+  /// not be called from a pool worker of this database's pool (the
+  /// rebuild blocks on engine-construction futures).
+  bool MaybeRepartition(const std::string& table);
 
   /// Evaluates `spec` across the table's partitions; results merge outside
   /// the partition locks. Identical rows (as a multiset) to running the
@@ -204,6 +255,23 @@ class Database {
     std::atomic<uint64_t> queries{0};
     std::atomic<uint64_t> inserts{0};
     std::atomic<uint64_t> deletes{0};
+
+    /// Adaptive repartitioning state (histogram/policy null when the
+    /// table does not adapt — disabled or hash-sharded).
+    AdaptiveConfig adaptive;
+    std::unique_ptr<WorkloadHistogram> histogram;
+    std::unique_ptr<RepartitionPolicy> policy;
+    std::atomic<uint64_t> splits{0};
+    std::atomic<uint64_t> merges{0};
+    /// Background-trigger bookkeeping: ops served since registration, an
+    /// at-most-one-tick-in-flight flag, and the (joinable) tick thread.
+    /// Ticks run on their own thread, never on a pool worker: the swap
+    /// blocks until gate readers drain, and a worker must stay free to
+    /// run the group tasks those readers are waiting on.
+    std::atomic<uint64_t> ops_seen{0};
+    std::atomic<bool> tick_in_flight{false};
+    std::mutex tick_thread_mu;
+    std::thread tick_thread;
   };
 
   /// Non-owning view of one write: the group-commit core works on views
@@ -219,6 +287,16 @@ class Database {
   /// acquisition, filling `outcomes[i]` per op (see ApplyBatch).
   void ApplyViews(Table& t, std::span<const WriteView> ops,
                   WriteOutcome* outcomes);
+
+  /// Counts served ops toward the table's background repartition trigger
+  /// and, when a trigger boundary is crossed, starts a tick thread
+  /// (unless one is already in flight).
+  void NoteOps(Table& t, size_t n);
+
+  /// The tick body: histogram snapshot -> policy -> Repartitioner.
+  /// Returns true iff an action was executed. Caller holds the table's
+  /// tick_in_flight flag.
+  bool RunTick(Table& t);
 
   Table& FindTable(const std::string& table) const;
 

@@ -80,11 +80,11 @@ class ShardedHandle : public SelectionHandle {
 
 ShardedEngine::ShardedEngine(const PartitionedRelation& relation,
                              EngineFactory factory, ThreadPool* pool)
-    : relation_(&relation), pool_(pool) {
-  if (!factory) Die("null engine factory", relation.name());
+    : relation_(&relation), factory_(std::move(factory)), pool_(pool) {
+  if (!factory_) Die("null engine factory", relation.name());
   engines_.reserve(relation.num_partitions());
   for (size_t i = 0; i < relation.num_partitions(); ++i) {
-    engines_.push_back(factory(relation.partition(i)));
+    engines_.push_back(factory_(relation.partition(i)));
     if (engines_.back() == nullptr) {
       Die("factory returned null", relation.name());
     }
@@ -138,12 +138,37 @@ std::vector<size_t> ShardedEngine::TargetPartitions(
 }
 
 size_t ShardedEngine::HomePartition(const QuerySpec& spec) const {
+  // Separate gate acquisition from the later ExecuteBatch one: affinity is
+  // a hint, staleness across a repartition in between is harmless.
+  RwGate::SharedGuard map_guard(relation_->map_gate(),
+                                pool_ != nullptr && pool_->InWorkerThread());
   const std::vector<size_t> targets = TargetPartitions(spec);
   return targets.empty() ? 0 : targets.front();
 }
 
+void ShardedEngine::SpliceEngines(size_t first, size_t removed,
+                                  std::vector<std::unique_ptr<Engine>> added) {
+  if (removed == 0 || first + removed > engines_.size() || added.empty()) {
+    Die("engine splice out of bounds", relation_->name());
+  }
+  const auto begin = static_cast<std::ptrdiff_t>(first);
+  const auto end = static_cast<std::ptrdiff_t>(first + removed);
+  // The replaced engines are destroyed here: the caller holds the map gate
+  // exclusively, so no query can still reference them.
+  engines_.erase(engines_.begin() + begin, engines_.begin() + end);
+  engines_.insert(engines_.begin() + begin,
+                  std::make_move_iterator(added.begin()),
+                  std::make_move_iterator(added.end()));
+}
+
 std::vector<std::vector<ShardedEngine::ShardResult>>
 ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs) {
+  // The partition map is stable for the whole batch: shared hold of the
+  // gate spans grouping, fan-out, and the cost roll-up. Pool workers
+  // (async queries' own tasks) enter urgently so they can never deadlock
+  // behind a waiting repartition swap — see RwGate.
+  RwGate::SharedGuard map_guard(relation_->map_gate(),
+                                pool_ != nullptr && pool_->InWorkerThread());
   // A sub-query is one (spec, target partition) pair; `slot` is the
   // partition's position within that spec's (partition-ordered) target
   // list, i.e. where the materialization lands in results[spec].
@@ -171,6 +196,7 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs) {
   auto run_group = [&](size_t a) {
     const size_t p = active[a];
     Engine& child = *engines_[p];
+    Timer group_timer;
     // One exclusive acquisition serves the whole group: the sub-queries
     // crack the partition's auxiliary structures back to back (batch
     // order, so state evolution matches the one-by-one loop), and every
@@ -200,6 +226,34 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs) {
       delta.prepare_micros += prepare;
       delta.select_micros += select_elapsed - prepare;
       delta.reconstruct_micros += fetch_timer.ElapsedMicros();
+    }
+    // Feed the adaptive subsystem's sensor *outside* the partition's
+    // exclusive lock — recording needs only the map gate (still held
+    // shared by our caller), and the hot partition's critical section is
+    // exactly what this subsystem exists to shorten.
+    lock.unlock();
+    if (histogram_ != nullptr) {
+      histogram_->RecordAccess(p, groups[p].size(),
+                               group_timer.ElapsedMicros());
+      const std::string& organizing = relation_->spec().column;
+      for (const SubQuery& sub : groups[p]) {
+        for (const QuerySpec::Selection& sel :
+             specs[sub.spec_index].selections) {
+          if (sel.attr != organizing) continue;
+          // Normalize to closed form; each boundary is the first value of
+          // a would-be right slice. kMin/kMax edges carry no information.
+          const RangePredicate& pred = sel.pred;
+          if (pred.low != kMinValue &&
+              !(pred.low == kMaxValue && !pred.low_inclusive)) {
+            histogram_->RecordBoundary(
+                p, pred.low_inclusive ? pred.low : pred.low + 1);
+          }
+          if (pred.high != kMaxValue) {
+            histogram_->RecordBoundary(
+                p, pred.high_inclusive ? pred.high + 1 : pred.high);
+          }
+        }
+      }
     }
   };
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/workload_histogram.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
 #include "engine/engine_factory.h"
@@ -43,7 +44,11 @@ namespace crackdb {
 ///    outside every lock;
 ///  - writers (the Database facade's insert/delete paths) take the same
 ///    per-partition locks exclusively, statistics snapshots take them
-///    shared. See docs/ARCHITECTURE.md, "Locking discipline".
+///    shared. See docs/ARCHITECTURE.md, "Locking discipline";
+///  - the partition map itself may be reorganized online (adaptive
+///    hot-split/cold-merge): every execution path holds the relation's
+///    map_gate() shared while it resolves partition indexes, and the
+///    Repartitioner swaps new shards in under the gate held exclusively.
 ///
 /// Range sharding on the organizing attribute additionally prunes
 /// partitions whose slice cannot intersect a conjunctive selection on that
@@ -80,12 +85,31 @@ class ShardedEngine : public Engine {
   Engine& partition_engine(size_t i) { return *engines_[i]; }
 
   /// Partitions a conjunctive/disjunctive spec cannot rule out; exposed
-  /// for tests and the bench reporting.
+  /// for tests and the bench reporting. Callers racing with adaptive
+  /// repartitioning must hold the relation's map gate (ExecuteBatch and
+  /// HomePartition do); quiescent callers need nothing.
   std::vector<size_t> TargetPartitions(const QuerySpec& spec) const;
 
   /// Thread-safe copy of the summed cost breakdown. (The inherited cost()
   /// reference is only safe to read when no query is in flight.)
   CostBreakdown CostSnapshot() const;
+
+  /// Points the execution path at a workload histogram: each partition
+  /// group then charges its accesses/latency (and the organizing
+  /// predicate boundaries, the split-point candidates) to it. Null
+  /// detaches. Set at registration time, before traffic.
+  void SetHistogram(WorkloadHistogram* histogram) { histogram_ = histogram; }
+
+  /// The per-partition engine constructor this engine was built with; the
+  /// Repartitioner uses it to stamp out engines for fresh shards.
+  const EngineFactory& factory() const { return factory_; }
+
+  /// Online repartitioning splice, mirroring
+  /// PartitionedRelation::SpliceRange: replaces the engines of partitions
+  /// [first, first+removed) with `added` (built over the new shard
+  /// relations). Caller holds the relation's map gate exclusively.
+  void SpliceEngines(size_t first, size_t removed,
+                     std::vector<std::unique_ptr<Engine>> added);
 
  private:
   struct ShardResult {
@@ -113,8 +137,10 @@ class ShardedEngine : public Engine {
                           std::vector<ShardResult> shards);
 
   const PartitionedRelation* relation_;
+  EngineFactory factory_;
   std::vector<std::unique_ptr<Engine>> engines_;
   ThreadPool* pool_;
+  WorkloadHistogram* histogram_ = nullptr;
   mutable std::mutex cost_mu_;
 };
 

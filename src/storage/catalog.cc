@@ -15,6 +15,14 @@ Relation& Catalog::CreateRelation(const std::string& name) {
   return *it->second;
 }
 
+void Catalog::DropRelation(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    std::fprintf(stderr, "crackdb: drop of unknown relation '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+}
+
 Relation& Catalog::relation(const std::string& name) {
   auto it = relations_.find(name);
   if (it == relations_.end()) {

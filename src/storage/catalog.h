@@ -21,6 +21,11 @@ class Catalog {
   /// Creates an empty relation; dies on duplicates.
   Relation& CreateRelation(const std::string& name);
 
+  /// Destroys a relation (retired partition shards after an adaptive
+  /// split/merge). Dies if absent. The caller guarantees nothing still
+  /// references the relation or its columns.
+  void DropRelation(const std::string& name);
+
   Relation& relation(const std::string& name);
   const Relation& relation(const std::string& name) const;
   bool HasRelation(const std::string& name) const;

@@ -47,7 +47,8 @@ PartitionedRelation::PartitionedRelation(std::string name, PartitionSpec spec,
     : name_(std::move(name)),
       spec_(std::move(spec)),
       partitions_(std::move(partitions)),
-      organizing_ordinal_(organizing_ordinal) {
+      organizing_ordinal_(organizing_ordinal),
+      next_partition_id_(partitions_.size()) {
   if (partitions_.empty()) Die("no partitions", name_);
   mutexes_.reserve(partitions_.size());
   for (size_t i = 0; i < partitions_.size(); ++i) {
@@ -164,6 +165,87 @@ size_t PartitionedRelation::num_live_rows() const {
   size_t live = 0;
   for (const Relation* part : partitions_) live += part->num_live_rows();
   return live;
+}
+
+Value PartitionedRelation::SliceCoverLo(size_t i) const {
+  if (spec_.kind != PartitionSpec::Kind::kRange) {
+    Die("slice cover of a hash partition", name_);
+  }
+  return slice_starts_[i];
+}
+
+Value PartitionedRelation::SliceCoverHi(size_t i) const {
+  if (spec_.kind != PartitionSpec::Kind::kRange) {
+    Die("slice cover of a hash partition", name_);
+  }
+  if (i + 1 < slice_starts_.size() && slice_starts_[i + 1] <= spec_.domain_hi) {
+    return slice_starts_[i + 1] - 1;
+  }
+  return spec_.domain_hi;
+}
+
+void PartitionedRelation::SpliceRange(
+    size_t first, size_t removed, std::vector<Relation*> added,
+    std::vector<Value> starts, const std::vector<std::vector<Location>>& remap) {
+  if (spec_.kind != PartitionSpec::Kind::kRange) {
+    Die("splice of a hash partition map", name_);
+  }
+  const size_t n = partitions_.size();
+  if (removed == 0 || first + removed > n) Die("splice range out of bounds",
+                                              name_);
+  if (added.empty() || added.size() != starts.size() ||
+      remap.size() != removed) {
+    Die("splice arity mismatch", name_);
+  }
+  // The added slices must tile exactly the cover of the removed ones:
+  // same first start, strictly increasing, all reachable (<= domain_hi),
+  // ending strictly before the next surviving slice.
+  if (starts.front() != slice_starts_[first]) Die("splice start moved", name_);
+  for (size_t j = 1; j < starts.size(); ++j) {
+    if (starts[j] <= starts[j - 1]) Die("splice starts not increasing", name_);
+  }
+  if (starts.back() > spec_.domain_hi) Die("splice start beyond domain", name_);
+  if (first + removed < n && starts.back() >= slice_starts_[first + removed]) {
+    Die("splice overruns the next slice", name_);
+  }
+  for (size_t j = 0; j < removed; ++j) {
+    if (remap[j].size() != partitions_[first + j]->num_rows()) {
+      Die("splice remap does not cover the replaced partition", name_);
+    }
+  }
+
+  // Rewrite the global-key router: replaced partitions map through
+  // `remap`, later partitions shift by the size delta.
+  const auto shift = static_cast<int64_t>(added.size()) -
+                     static_cast<int64_t>(removed);
+  for (Location& loc : key_map_) {
+    if (loc.partition < first) continue;
+    if (loc.partition < first + removed) {
+      const Location& to = remap[loc.partition - first][loc.local_key];
+      loc.partition = static_cast<uint32_t>(first + to.partition);
+      loc.local_key = to.local_key;
+    } else {
+      loc.partition =
+          static_cast<uint32_t>(static_cast<int64_t>(loc.partition) + shift);
+    }
+  }
+
+  const auto begin = static_cast<std::ptrdiff_t>(first);
+  const auto end = static_cast<std::ptrdiff_t>(first + removed);
+  partitions_.erase(partitions_.begin() + begin, partitions_.begin() + end);
+  partitions_.insert(partitions_.begin() + begin, added.begin(), added.end());
+  slice_starts_.erase(slice_starts_.begin() + begin,
+                      slice_starts_.begin() + end);
+  slice_starts_.insert(slice_starts_.begin() + begin, starts.begin(),
+                       starts.end());
+  // Fresh mutexes for the new shards: with the map gate held exclusively
+  // nobody holds or waits on the replaced ones.
+  mutexes_.erase(mutexes_.begin() + begin, mutexes_.begin() + end);
+  for (size_t j = 0; j < added.size(); ++j) {
+    mutexes_.insert(mutexes_.begin() + begin + static_cast<std::ptrdiff_t>(j),
+                    std::make_unique<MutexBox>());
+  }
+  spec_.num_partitions = partitions_.size();
 }
 
 PartitionedRelation Partitioner::Partition(Catalog* catalog,

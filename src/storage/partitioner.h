@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rw_gate.h"
 #include "common/types.h"
 #include "storage/catalog.h"
 #include "storage/relation.h"
@@ -72,6 +73,18 @@ class PartitionedRelation {
     return mutexes_[i]->mu;
   }
 
+  /// The gate guarding the partition *map itself* (the partitions_,
+  /// mutexes_, slice_starts_, key_map_ vectors) against adaptive
+  /// repartitioning. Every path that resolves a partition index into a
+  /// relation/engine/mutex — queries, writers, statistics — holds it
+  /// shared for the duration of that use; the Repartitioner's swap phase
+  /// holds it exclusively while it splices the map. Pool workers enter it
+  /// with `urgent = true` (see RwGate) so queued query tasks can never
+  /// deadlock against a waiting swap. With adaptivity off the gate is
+  /// never taken exclusively and shared entry is one uncontended
+  /// mutex round-trip.
+  RwGate& map_gate() const { return gate_->gate; }
+
   size_t organizing_ordinal() const { return organizing_ordinal_; }
 
   /// Partition a row with this organizing-attribute value routes to.
@@ -108,6 +121,31 @@ class PartitionedRelation {
   size_t num_rows() const { return key_map_.size(); }
   size_t num_live_rows() const;
 
+  /// Range kind: the first domain value slice `i` covers. (Edge slices
+  /// additionally absorb clamped out-of-domain values; covers are what
+  /// routing decisions are made on.)
+  Value SliceCoverLo(size_t i) const;
+  /// Range kind: the last domain value slice `i` covers.
+  Value SliceCoverHi(size_t i) const;
+
+  /// Hands out the next partition-relation suffix (`<name>#p<id>`), so
+  /// relations created by repartitioning never collide with live or
+  /// retired shards. Called only by the (single in-flight) Repartitioner.
+  size_t AllocatePartitionId() { return next_partition_id_++; }
+
+  /// Online repartitioning splice: replaces partitions [first,
+  /// first+removed) with `added` relations whose slices start at `starts`
+  /// (covering exactly the replaced range), rewriting the global-key
+  /// router via `remap`, where remap[j][old_local] is the (index into
+  /// `added`, new local key) every row of replaced partition first+j
+  /// moved to. Range kind only. Caller holds map_gate() exclusively and
+  /// guarantees the added relations hold row-for-row (and
+  /// tombstone-for-tombstone) the same logical tuples as the replaced
+  /// ones.
+  void SpliceRange(size_t first, size_t removed,
+                   std::vector<Relation*> added, std::vector<Value> starts,
+                   const std::vector<std::vector<Location>>& remap);
+
  private:
   friend class Partitioner;
 
@@ -116,15 +154,22 @@ class PartitionedRelation {
   struct MutexBox {
     mutable std::shared_mutex mu;
   };
+  struct GateBox {
+    mutable RwGate gate;
+  };
 
   std::string name_;
   PartitionSpec spec_;
   std::vector<Relation*> partitions_;  // owned by the Catalog
   std::vector<std::unique_ptr<MutexBox>> mutexes_;
+  std::unique_ptr<GateBox> gate_ = std::make_unique<GateBox>();
   size_t organizing_ordinal_ = 0;
   /// Range kind: slice i covers [slice_starts_[i], slice_starts_[i+1]).
   std::vector<Value> slice_starts_;
   std::vector<Location> key_map_;  // global key -> location
+  /// Next `#p<id>` suffix; starts past the load-time shards and only
+  /// grows, so repartitioning never reuses a relation name.
+  size_t next_partition_id_ = 0;
 };
 
 /// Builds PartitionedRelations.
