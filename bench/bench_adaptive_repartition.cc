@@ -86,10 +86,7 @@ AdaptiveConfig MakeAdaptiveConfig(size_t rows, bool smoke) {
 /// experiments' usual shape: selection on the organizing head attribute,
 /// one reconstruction projection.
 QuerySpec MakeQuery(const RangePredicate& head) {
-  QuerySpec spec;
-  spec.selections = {{AttrName(1), head}};
-  spec.projections = {AttrName(7)};
-  return spec;
+  return SelectProject({{AttrName(1), head}}, {AttrName(7)});
 }
 
 /// A generator of either workload kind behind one call signature.

@@ -91,16 +91,11 @@ ClientTraffic GenerateTraffic(uint64_t seed, size_t num_queries,
   const double selectivity = std::min(0.01, 50.0 / static_cast<double>(rows));
   traffic.queries.reserve(num_queries);
   for (size_t i = 0; i < num_queries; ++i) {
-    QuerySpec spec;
-    if (rng.Bernoulli(0.7)) {
-      spec.selections = {
-          {AttrName(1), RangePredicate::Point(rng.Uniform(1, kDomain))}};
-    } else {
-      spec.selections = {
-          {AttrName(1), RandomRange(&rng, 1, kDomain, selectivity)}};
-    }
-    spec.projections = {AttrName(7)};
-    traffic.queries.push_back(std::move(spec));
+    const RangePredicate pred =
+        rng.Bernoulli(0.7) ? RangePredicate::Point(rng.Uniform(1, kDomain))
+                           : RandomRange(&rng, 1, kDomain, selectivity);
+    traffic.queries.push_back(
+        SelectProject({{AttrName(1), pred}}, {AttrName(7)}));
   }
   traffic.writes.reserve(num_writes);
   for (size_t i = 0; i < num_writes; ++i) {
@@ -119,11 +114,10 @@ void Warmup(Database* db, size_t rows, uint64_t seed) {
   const double selectivity =
       std::min(0.005, 1'000.0 / static_cast<double>(rows));
   for (int q = 0; q < 64; ++q) {
-    QuerySpec spec;
-    spec.selections = {
-        {AttrName(1), RandomRange(&rng, 1, kDomain, selectivity)}};
-    spec.projections = {AttrName(7)};
-    (void)db->Query("R", spec);
+    (void)db->Query(
+        "R", SelectProject({{AttrName(1), RandomRange(&rng, 1, kDomain,
+                                                      selectivity)}},
+                           {AttrName(7)}));
   }
 }
 
@@ -236,11 +230,10 @@ bool VerifyEquivalence(const Relation& source, const PipelineOptions& opt) {
   Rng rng(271828);
   std::vector<QuerySpec> specs;
   for (int q = 0; q < 12; ++q) {
-    QuerySpec spec;
-    spec.selections = {{AttrName(1), RandomRange(&rng, 1, kDomain, 0.02)},
-                       {AttrName(3), RandomRange(&rng, 1, kDomain, 0.5)}};
-    spec.projections = {AttrName(6), AttrName(7)};
-    specs.push_back(std::move(spec));
+    specs.push_back(
+        SelectProject({{AttrName(1), RandomRange(&rng, 1, kDomain, 0.02)},
+                       {AttrName(3), RandomRange(&rng, 1, kDomain, 0.5)}},
+                      {AttrName(6), AttrName(7)}));
   }
   const std::vector<QueryResult> batched = batch_db.QueryBatch("R", specs);
   for (size_t q = 0; q < specs.size(); ++q) {
@@ -250,9 +243,8 @@ bool VerifyEquivalence(const Relation& source, const PipelineOptions& opt) {
   }
   // Async answers must match too (exercises the pooled path when --pool>0).
   for (int q = 0; q < 4; ++q) {
-    QuerySpec spec;
-    spec.selections = {{AttrName(1), RandomRange(&rng, 1, kDomain, 0.01)}};
-    spec.projections = {AttrName(7)};
+    const QuerySpec spec = SelectProject(
+        {{AttrName(1), RandomRange(&rng, 1, kDomain, 0.01)}}, {AttrName(7)});
     if (ZipRows(batch_db.QueryAsync("R", spec).get()) !=
         ZipRows(plain.Run(spec))) {
       return false;

@@ -1,18 +1,38 @@
 #ifndef CRACKDB_BENCH_BENCH_COMMON_H_
 #define CRACKDB_BENCH_BENCH_COMMON_H_
 
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util/workload.h"
 #include "common/rng.h"
 #include "engine/engine.h"
 #include "engine/engine_factory.h"
 #include "engine/partial_engine.h"
+#include "engine/query.h"
 #include "engine/sideways_engine.h"
 #include "storage/relation.h"
 
 namespace crackdb::bench {
+
+/// The one shared spec-assembly helper: the select-project shape every
+/// bench used to hand-roll as a `QuerySpec` literal, funneled through the
+/// fluent QueryBuilder so predicates are validated at build time (an
+/// inverted range dies with a message here instead of asserting deep
+/// inside an engine mid-sweep).
+inline QuerySpec SelectProject(
+    std::initializer_list<QuerySpec::Selection> selections,
+    std::vector<std::string> projections) {
+  QueryBuilder builder;
+  for (const QuerySpec::Selection& sel : selections) {
+    builder.Where(sel.attr, sel.pred);
+  }
+  builder.Project(std::move(projections));
+  return builder.Spec();
+}
 
 /// The engine-kind table and factory moved into the library
 /// (engine/engine_factory.h) so the sharded execution layer can stamp out
@@ -50,13 +70,10 @@ struct QiWorkload {
     } else {
       head = bench::RandomRange(rng, 1, domain, fraction);
     }
-    QuerySpec spec;
-    spec.selections = {
-        {bench::AttrName(1), head},
-        {bench::AttrName(2 + type), bench::RandomRange(rng, 1, domain, 0.5)},
-    };
-    spec.projections = {bench::AttrName(7 + type)};
-    return spec;
+    return SelectProject(
+        {{bench::AttrName(1), head},
+         {bench::AttrName(2 + type), bench::RandomRange(rng, 1, domain, 0.5)}},
+        {bench::AttrName(7 + type)});
   }
 };
 

@@ -117,20 +117,18 @@ ClientResult RunClient(Database* db, size_t rows, uint64_t seed, size_t ops,
       }
       continue;
     }
-    QuerySpec spec;
-    if (dice < update_p + point_p) {
-      spec.selections = {
-          {AttrName(1), RangePredicate::Point(rng.Uniform(1, kDomain))}};
-      spec.projections = {AttrName(7)};
-    } else {
-      spec.selections = {
-          {AttrName(1), opt.drift
-                            ? drift.Next(&rng)
-                            : RandomRange(&rng, 1, kDomain, selectivity)},
-          {AttrName(2 + static_cast<size_t>(rng.Uniform(0, 4))),
-           RandomRange(&rng, 1, kDomain, 0.5)}};
-      spec.projections = {AttrName(7)};
-    }
+    const QuerySpec spec =
+        dice < update_p + point_p
+            ? SelectProject({{AttrName(1), RangePredicate::Point(
+                                               rng.Uniform(1, kDomain))}},
+                            {AttrName(7)})
+            : SelectProject(
+                  {{AttrName(1),
+                    opt.drift ? drift.Next(&rng)
+                              : RandomRange(&rng, 1, kDomain, selectivity)},
+                   {AttrName(2 + static_cast<size_t>(rng.Uniform(0, 4))),
+                    RandomRange(&rng, 1, kDomain, 0.5)}},
+                  {AttrName(7)});
     Timer op_timer;
     const QueryResult r = db->Query("R", spec);
     result.latencies_micros.push_back(op_timer.ElapsedMicros());
@@ -151,10 +149,10 @@ bool VerifyAgainstPlain(const Relation& source,
   PlainEngine plain(source);
   Rng rng(4711);
   for (int q = 0; q < 10; ++q) {
-    QuerySpec spec;
-    spec.selections = {{AttrName(1), RandomRange(&rng, 1, kDomain, 0.02)},
-                       {AttrName(3), RandomRange(&rng, 1, kDomain, 0.5)}};
-    spec.projections = {AttrName(6), AttrName(7)};
+    const QuerySpec spec =
+        SelectProject({{AttrName(1), RandomRange(&rng, 1, kDomain, 0.02)},
+                       {AttrName(3), RandomRange(&rng, 1, kDomain, 0.5)}},
+                      {AttrName(6), AttrName(7)});
     if (ZipRows(db.Query("R", spec)) != ZipRows(plain.Run(spec))) {
       return false;
     }

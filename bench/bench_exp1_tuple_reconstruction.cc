@@ -48,11 +48,11 @@ void Run(const BenchArgs& args) {
     SeriesHeader(system);
     for (const size_t num_tr : {2u, 4u, 8u}) {
       std::unique_ptr<Engine> engine = MakeEngine(system, rel);
-      QuerySpec spec;
-      spec.projections.clear();
+      std::vector<std::string> projections;
       for (size_t a = 2; a <= 1 + num_tr; ++a) {
-        spec.projections.push_back(AttrName(a));
+        projections.push_back(AttrName(a));
       }
+      QuerySpec spec = SelectProject({}, std::move(projections));
       Rng rng(args.seed + num_tr);
       // Median over the tail of the sequence: the structures are fully
       // reorganized there and a single-query snapshot is noisy.

@@ -41,9 +41,9 @@ void Run(const BenchArgs& args) {
     std::unique_ptr<Engine> sideways = MakeEngine("sideways", rel);
     Rng rng(args.seed + static_cast<uint64_t>(sel * 100));
     for (size_t q = 0; q < queries; ++q) {
-      QuerySpec spec;
-      spec.selections = {{AttrName(1), RandomRange(&rng, 1, kDomain, sel)}};
-      spec.projections = {AttrName(2), AttrName(3)};
+      const QuerySpec spec =
+          SelectProject({{AttrName(1), RandomRange(&rng, 1, kDomain, sel)}},
+                        {AttrName(2), AttrName(3)});
       const double side = RunTimed(sideways.get(), spec).timing.total_micros;
       const double base = RunTimed(plain.get(), spec).timing.total_micros;
       // Log-friendly x: print every query early on, then every 10th.

@@ -34,15 +34,11 @@ PhaseCosts RunJoinQuery(Engine* r_engine, Engine* s_engine, Rng* rng) {
   // Independent conjunctions per table (the paper's v* and k* parameters),
   // fixed selectivity factors 50/30/20%.
   auto make_spec = [rng]() {
-    QuerySpec spec;
     // Most-selective-first, as the paper runs every system.
-    spec.selections = {
-        {AttrName(5), RandomRange(rng, 1, kDomain, 0.2)},
-        {AttrName(4), RandomRange(rng, 1, kDomain, 0.3)},
-        {AttrName(3), RandomRange(rng, 1, kDomain, 0.5)},
-    };
-    spec.projections = {AttrName(7), AttrName(1), AttrName(2)};
-    return spec;
+    return SelectProject({{AttrName(5), RandomRange(rng, 1, kDomain, 0.2)},
+                          {AttrName(4), RandomRange(rng, 1, kDomain, 0.3)},
+                          {AttrName(3), RandomRange(rng, 1, kDomain, 0.5)}},
+                         {AttrName(7), AttrName(1), AttrName(2)});
   };
   const QuerySpec r_spec = make_spec();
   const QuerySpec s_spec = make_spec();

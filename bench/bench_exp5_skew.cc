@@ -50,9 +50,8 @@ void Run(const BenchArgs& args) {
     std::unique_ptr<Engine> engine = MakeEngine(system, rel);
     Rng rng(args.seed + 7);
     for (size_t q = 0; q < queries; ++q) {
-      QuerySpec spec;
-      spec.selections = {{AttrName(1), gen.Next(&rng)}};
-      spec.projections = {AttrName(2), AttrName(3)};
+      const QuerySpec spec = SelectProject({{AttrName(1), gen.Next(&rng)}},
+                                           {AttrName(2), AttrName(3)});
       const QueryTiming t = RunTimed(engine.get(), spec).timing;
       Point(static_cast<double>(q + 1), t.total_micros);
     }

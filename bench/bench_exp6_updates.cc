@@ -44,9 +44,9 @@ void RunScenario(const BenchArgs& args, const std::string& name,
       if (q != 0 && q % update_period == 0) {
         ApplyRandomUpdates(&rel, kDomain, update_volume, &rng);
       }
-      QuerySpec spec;
-      spec.selections = {{AttrName(1), RandomRange(&rng, 1, kDomain, 0.2)}};
-      spec.projections = {AttrName(2), AttrName(3)};
+      const QuerySpec spec =
+          SelectProject({{AttrName(1), RandomRange(&rng, 1, kDomain, 0.2)}},
+                        {AttrName(2), AttrName(3)});
       const QueryTiming t = RunTimed(engine.get(), spec).timing;
       if (q < 30 || q % 5 == 0 || (q % update_period) < 2) {
         Point(static_cast<double>(q + 1), t.total_micros);

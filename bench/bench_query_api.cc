@@ -1,0 +1,335 @@
+// The consumption-mode pushdown vs the classic materialize-then-fold
+// loop: the same selective queries run through the fluent API three ways —
+// Materialize() + client-side fold (the control arm, exactly what every
+// caller had to do before consumption modes existed), Count(), and
+// Aggregate(kSum) — across a selectivity sweep. The pushed-down modes skip
+// tuple reconstruction and the cross-partition row merge entirely, so the
+// gap widens with selectivity: at 10%+ of a 200k-row table the control arm
+// copies tens of thousands of values per query that the pushdown never
+// touches.
+//
+//   ./bench_query_api                        # sweep 1,5,10,20% selectivity
+//   ./bench_query_api --engine=partial --sel=10,25 --partitions=4
+//   ./bench_query_api --smoke                # CI fast path
+//
+// Verify-before-trust: pushdown answers are checked against a plain-scan
+// oracle and against the control arm's fold before any timing is
+// reported, and every pushed-down query must report exactly zero
+// reconstruction cost. Each selectivity emits a machine-readable
+// `BENCH_query_api {...}` JSON line for the perf trajectory.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "common/timer.h"
+#include "engine/database.h"
+#include "engine/plain_engine.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+constexpr Value kDomain = 10'000'000;
+
+struct ApiOptions {
+  std::vector<size_t> sel_pct;  // empty = default sweep
+  size_t partitions = 8;
+  size_t pool = 0;
+  std::string engine = "sideways";
+};
+
+PartitionSpec MakeSpec(const ApiOptions& opt) {
+  PartitionSpec spec;
+  spec.kind = PartitionSpec::Kind::kRange;
+  spec.num_partitions = opt.partitions;
+  spec.column = AttrName(1);
+  spec.domain_lo = 1;
+  spec.domain_hi = kDomain;
+  return spec;
+}
+
+std::unique_ptr<Database> MakeDatabase(const Relation& source,
+                                       const ApiOptions& opt) {
+  DatabaseOptions db_opt;
+  db_opt.pool_threads = opt.pool;
+  auto db = std::make_unique<Database>(db_opt);
+  db->RegisterSharded("R", source, MakeSpec(opt), opt.engine);
+  return db;
+}
+
+std::vector<RangePredicate> MakePredicates(uint64_t seed, size_t count,
+                                           double selectivity) {
+  Rng rng(seed);
+  std::vector<RangePredicate> preds;
+  preds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    preds.push_back(RandomRange(&rng, 1, kDomain, selectivity));
+  }
+  return preds;
+}
+
+enum class Arm { kMaterializeFold, kCount, kSum };
+
+struct ArmResult {
+  double qps = 0;
+  uint64_t total_count = 0;
+  long long total_sum = 0;
+  bool reconstruct_zero = true;
+};
+
+/// Runs one arm on a fresh database: an untimed warmup pass over the
+/// predicate sequence (the crackers converge on the arm's own access
+/// pattern), then the timed pass. Every arm pays identical selection
+/// work; what differs is what happens to the qualifying tuples.
+ArmResult RunArm(const Relation& source, const ApiOptions& opt, Arm arm,
+                 const std::vector<RangePredicate>& preds) {
+  const std::unique_ptr<Database> db = MakeDatabase(source, opt);
+  ArmResult result;
+  double elapsed = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool timed = pass == 1;
+    result.total_count = 0;
+    result.total_sum = 0;
+    Timer timer;
+    for (const RangePredicate& pred : preds) {
+      switch (arm) {
+        case Arm::kMaterializeFold: {
+          auto r = db->From("R")
+                       .Where(AttrName(1), pred)
+                       .Project(AttrName(2))
+                       .Execute();
+          if (!r.ok()) {
+            std::fprintf(stderr, "FAILED: %s\n", r.error().c_str());
+            std::exit(1);
+          }
+          result.total_count += r->rows.num_rows;
+          for (const Value v : r->rows.columns[0]) result.total_sum += v;
+          break;
+        }
+        case Arm::kCount: {
+          auto r = db->From("R").Where(AttrName(1), pred).Count().Execute();
+          if (!r.ok()) {
+            std::fprintf(stderr, "FAILED: %s\n", r.error().c_str());
+            std::exit(1);
+          }
+          result.total_count += r->count;
+          result.reconstruct_zero &= r->cost.reconstruct_micros == 0;
+          break;
+        }
+        case Arm::kSum: {
+          auto r = db->From("R")
+                       .Where(AttrName(1), pred)
+                       .Aggregate(AggregateOp::kSum, AttrName(2))
+                       .Execute();
+          if (!r.ok()) {
+            std::fprintf(stderr, "FAILED: %s\n", r.error().c_str());
+            std::exit(1);
+          }
+          result.total_count += r->count;
+          if (r->aggregate_valid) result.total_sum += r->aggregate;
+          result.reconstruct_zero &= r->cost.reconstruct_micros == 0;
+          break;
+        }
+      }
+    }
+    if (timed) elapsed = timer.ElapsedSeconds();
+  }
+  result.qps = static_cast<double>(preds.size()) / elapsed;
+  return result;
+}
+
+/// Pushdown answers must equal the plain-scan oracle (and the control
+/// arm's fold) before any timing is trusted.
+bool VerifyAgainstOracle(const Relation& source, const ApiOptions& opt) {
+  const std::unique_ptr<Database> db = MakeDatabase(source, opt);
+  PlainEngine plain(source);
+  Rng rng(161803);
+  for (int q = 0; q < 10; ++q) {
+    const RangePredicate pred = RandomRange(&rng, 1, kDomain, 0.05);
+    const QuerySpec oracle_spec =
+        SelectProject({{AttrName(1), pred}}, {AttrName(2)});
+    const QueryResult oracle = plain.Run(oracle_spec);
+    long long oracle_sum = 0;
+    for (const Value v : oracle.columns[0]) oracle_sum += v;
+
+    auto count = db->From("R").Where(AttrName(1), pred).Count().Execute();
+    auto sum = db->From("R")
+                   .Where(AttrName(1), pred)
+                   .Aggregate(AggregateOp::kSum, AttrName(2))
+                   .Execute();
+    auto rows = db->From("R")
+                    .Where(AttrName(1), pred)
+                    .Project(AttrName(2))
+                    .Execute();
+    if (!count.ok() || !sum.ok() || !rows.ok()) return false;
+    if (count->count != oracle.num_rows) return false;
+    if (sum->count != oracle.num_rows) return false;
+    if (oracle.num_rows > 0 &&
+        (!sum->aggregate_valid || sum->aggregate != oracle_sum)) {
+      return false;
+    }
+    if (ZipRows(rows->rows) != ZipRows(oracle)) return false;
+    if (count->cost.reconstruct_micros != 0 ||
+        sum->cost.reconstruct_micros != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Run(const BenchArgs& args, const ApiOptions& opt) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 10'000'000
+                                         : 200'000;
+  const size_t queries = args.queries != 0 ? args.queries
+                         : args.smoke      ? 6
+                         : args.paper_scale ? 1'000
+                                            : 300;
+  std::vector<size_t> sweep = opt.sel_pct;
+  if (sweep.empty()) {
+    sweep = args.smoke ? std::vector<size_t>{10}
+                       : std::vector<size_t>{1, 5, 10, 20};
+  }
+  ApiOptions effective = opt;
+  if (args.smoke && effective.partitions > 4) effective.partitions = 4;
+  if (!MakeEngineFactory(effective.engine)) {
+    std::fprintf(stderr, "unknown engine kind '%s'; valid kinds:",
+                 effective.engine.c_str());
+    for (const EngineKindEntry& entry : kEngineKinds) {
+      std::fprintf(stderr, " %s", entry.name);
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+
+  Catalog catalog;
+  Rng data_rng(args.seed);
+  Relation& source =
+      CreateUniformRelation(&catalog, "R", 7, rows, kDomain, &data_rng);
+  std::printf(
+      "# query api: engine=%s rows=%zu queries=%zu partitions=%zu pool=%zu\n",
+      effective.engine.c_str(), rows, queries, effective.partitions,
+      effective.pool);
+
+  if (!VerifyAgainstOracle(source, effective)) {
+    std::fprintf(stderr,
+                 "FAILED: pushdown answers diverge from the plain oracle\n");
+    std::exit(1);
+  }
+  std::printf("# verification pushdown==fold==plain: ok\n");
+
+  FigureHeader("query_api", "pushdown speedup vs selectivity",
+               "selectivity_pct", "speedup");
+  TablePrinter table({"sel%", "arm", "qps", "speedup", "rows/query"});
+  SeriesHeader("count-" + effective.engine);
+  for (const size_t pct : sweep) {
+    const double selectivity = static_cast<double>(pct) / 100.0;
+    const std::vector<RangePredicate> preds =
+        MakePredicates(args.seed + pct, queries, selectivity);
+
+    const ArmResult fold =
+        RunArm(source, effective, Arm::kMaterializeFold, preds);
+    const ArmResult count = RunArm(source, effective, Arm::kCount, preds);
+    const ArmResult sum = RunArm(source, effective, Arm::kSum, preds);
+
+    // The arms answered the identical predicate sequence on identical
+    // data; any checksum divergence voids the timing.
+    if (count.total_count != fold.total_count ||
+        sum.total_count != fold.total_count ||
+        sum.total_sum != fold.total_sum) {
+      std::fprintf(stderr, "FAILED: arm checksums diverged at sel=%zu%%\n",
+                   pct);
+      std::exit(1);
+    }
+    if (!count.reconstruct_zero || !sum.reconstruct_zero) {
+      std::fprintf(stderr,
+                   "FAILED: a pushed-down query charged reconstruction\n");
+      std::exit(1);
+    }
+
+    const double count_speedup = count.qps / fold.qps;
+    const double sum_speedup = sum.qps / fold.qps;
+    const size_t rows_per_query =
+        fold.total_count / (queries > 0 ? queries : 1);
+    Point(static_cast<double>(pct), count_speedup, sum_speedup);
+    table.AddRow({std::to_string(pct), "materialize+fold", Fmt(fold.qps, 0),
+                  "1.00", std::to_string(rows_per_query)});
+    table.AddRow({std::to_string(pct), "count", Fmt(count.qps, 0),
+                  Fmt(count_speedup, 2), "0"});
+    table.AddRow({std::to_string(pct), "sum", Fmt(sum.qps, 0),
+                  Fmt(sum_speedup, 2), "0"});
+    std::printf(
+        "BENCH_query_api {\"engine\":\"%s\",\"rows\":%zu,\"queries\":%zu,"
+        "\"sel_pct\":%zu,\"materialize_qps\":%.1f,\"count_qps\":%.1f,"
+        "\"count_speedup\":%.3f,\"sum_qps\":%.1f,\"sum_speedup\":%.3f,"
+        "\"reconstruct_zero\":true,\"verified\":true}\n",
+        effective.engine.c_str(), rows, queries, pct, fold.qps, count.qps,
+        count_speedup, sum.qps, sum_speedup);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  using crackdb::bench::BenchArgs;
+  using crackdb::bench::BenchFlag;
+  crackdb::bench::ApiOptions opt;
+  const BenchFlag extra[] = {
+      {"--sel=LIST",
+       "comma list of selectivity percents to sweep (default 1,5,10,20)",
+       [&opt](const char* a) {
+         if (std::strncmp(a, "--sel=", 6) != 0) return false;
+         opt.sel_pct = crackdb::bench::ParseSizeList("--sel", a + 6);
+         for (const size_t pct : opt.sel_pct) {
+           if (pct > 100) {
+             std::fprintf(stderr, "--sel wants percents in 1..100\n");
+             std::exit(2);
+           }
+         }
+         return true;
+       }},
+      {"--partitions=N", "partition count for the sharded table (default 8)",
+       [&opt](const char* a) {
+         if (std::strncmp(a, "--partitions=", 13) != 0) return false;
+         const long long n = std::atoll(a + 13);
+         if (n < 1 || n > 4'096) {
+           std::fprintf(stderr, "--partitions wants 1..4096, got '%s'\n",
+                        a + 13);
+           std::exit(2);
+         }
+         opt.partitions = static_cast<size_t>(n);
+         return true;
+       }},
+      {"--pool=N",
+       "shared fan-out pool workers; 0 = inline per-client execution",
+       [&opt](const char* a) {
+         if (std::strncmp(a, "--pool=", 7) != 0) return false;
+         const long long n = std::atoll(a + 7);
+         if (n < 0 || n > 1'024) {
+           std::fprintf(stderr, "--pool wants 0..1024, got '%s'\n", a + 7);
+           std::exit(2);
+         }
+         opt.pool = static_cast<size_t>(n);
+         return true;
+       }},
+      {"--engine=KIND", "per-partition engine kind (default sideways)",
+       [&opt](const char* a) {
+         if (std::strncmp(a, "--engine=", 9) != 0) return false;
+         opt.engine = a + 9;
+         return true;
+       }},
+  };
+  const BenchArgs args = BenchArgs::Parse(argc, argv, extra);
+  crackdb::bench::Run(args, opt);
+  return 0;
+}

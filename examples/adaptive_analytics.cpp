@@ -7,11 +7,13 @@
 //   ./examples/adaptive_analytics [--smoke]
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util/runner.h"
 #include "common/timer.h"
 #include "engine/operators.h"
 #include "engine/presorted_engine.h"
+#include "engine/query.h"
 #include "engine/sideways_engine.h"
 #include "tpch/queries.h"
 
@@ -22,20 +24,28 @@ namespace {
 
 double RunRevenueQuery(Engine* engine, Value date_lo, Value date_hi,
                        Value disc_lo, Value disc_hi, Value* revenue_out) {
-  QuerySpec query;
-  query.selections = {
-      {"l_shipdate", RangePredicate::HalfOpen(date_lo, date_hi)},
-      {"l_discount", RangePredicate::Closed(disc_lo, disc_hi)},
-  };
-  query.projections = {"l_extendedprice", "l_discount"};
-  Timer timer;
-  const QueryResult r = engine->Run(query);
+  // The revenue fold consumes rows as they stream by (ForEach): the
+  // product of two attributes is beyond a single-attribute Aggregate(),
+  // but the materialized result is still never built.
   Value revenue = 0;
-  for (size_t i = 0; i < r.num_rows; ++i) {
-    revenue += r.columns[0][i] * r.columns[1][i] / 100;
+  QueryBuilder query;
+  query.Where("l_shipdate", RangePredicate::HalfOpen(date_lo, date_hi))
+      .Where("l_discount", disc_lo, disc_hi)
+      .Project("l_extendedprice", "l_discount")
+      .ForEach([&revenue](std::span<const Value> row) {
+        revenue += row[0] * row[1] / 100;
+      });
+  const Query compiled = query.Build();
+  if (!compiled.error.empty()) {
+    std::fprintf(stderr, "invalid query: %s\n", compiled.error.c_str());
+    std::exit(1);
   }
+  Timer timer;
+  const ExecuteResult r = engine->Execute(compiled.spec, compiled.consume);
+  const double elapsed = timer.ElapsedMicros();
+  (void)r;
   *revenue_out = revenue;
-  return timer.ElapsedMicros();
+  return elapsed;
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "bench_util/workload.h"
 #include "common/rng.h"
 #include "engine/plain_engine.h"
+#include "engine/query.h"
 #include "engine/sideways_engine.h"
 #include "storage/catalog.h"
 
@@ -58,9 +59,10 @@ int main(int argc, char** argv) {
     }
     // ...then queries over a moving window.
     const Value lo = rng.Uniform(1, domain - 100'000);
-    QuerySpec query;
-    query.selections = {{"amount", RangePredicate::Closed(lo, lo + 100'000)}};
-    query.projections = {"customer", "region"};
+    const QuerySpec query = QueryBuilder()
+                                .Where("amount", lo, lo + 100'000)
+                                .Project("customer", "region")
+                                .Spec();
     const QueryResult got = cracking.Run(query);
     const QueryResult expected = reference.Run(query);
     const bool match = got.num_rows == expected.num_rows;

@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "engine/partial_engine.h"
 #include "engine/plain_engine.h"
+#include "engine/query.h"
 #include "storage/catalog.h"
 
 using namespace crackdb;
@@ -39,15 +40,14 @@ int main(int argc, char** argv) {
   for (int q = 0; q < 40; ++q) {
     // Two interleaved families with different hot ranges and attributes.
     const bool family_a = (q / 5) % 2 == 0;
-    QuerySpec query;
     const Value lo = family_a ? rng.Uniform(1, 200'000)
                               : rng.Uniform(600'000, 800'000);
-    query.selections = {
-        {bench::AttrName(1), RangePredicate::Closed(lo, lo + 50'000)},
-        {bench::AttrName(family_a ? 2 : 3),
-         RangePredicate::Closed(1, 500'000)},
-    };
-    query.projections = {bench::AttrName(family_a ? 4 : 5)};
+    const QuerySpec query =
+        QueryBuilder()
+            .Where(bench::AttrName(1), lo, lo + 50'000)
+            .Where(bench::AttrName(family_a ? 2 : 3), 1, 500'000)
+            .Project(bench::AttrName(family_a ? 4 : 5))
+            .Spec();
 
     const QueryResult got = cracking.Run(query);
     const QueryResult expected = reference.Run(query);

@@ -66,6 +66,7 @@ void Database::RegisterSharded(const std::string& table,
       Partitioner::Partition(&catalog_, source, spec));
   entry->engine = std::make_unique<ShardedEngine>(
       entry->relation, std::move(factory), pool_.get());
+  entry->columns = source.column_names();
   entry->adaptive = adaptive;
   // Only range-sharded tables adapt: hash sharding is balanced by
   // construction, and slices are the unit the repartitioner reshapes.
@@ -78,6 +79,145 @@ void Database::RegisterSharded(const std::string& table,
   if (!tables_.emplace(table, std::move(entry)).second) {
     Die("duplicate table", table);
   }
+}
+
+namespace {
+
+/// Re-applies the builder's terminal compile step to a Query, so
+/// hand-built Query aggregates (the struct is public) get the same
+/// projection pushdown and terminal validation as Build() output —
+/// idempotent on already-compiled queries. Returns "" or the failure.
+std::string NormalizeTerminal(crackdb::Query& q) {
+  switch (q.consume.kind) {
+    case ConsumeKind::kCount:
+      q.spec.projections.clear();
+      break;
+    case ConsumeKind::kAggregate:
+      if (q.consume.attr.empty()) return "Aggregate() requires an attribute";
+      q.spec.projections = {q.consume.attr};
+      break;
+    case ConsumeKind::kForEach:
+      if (!q.consume.visitor) return "ForEach() requires a visitor";
+      if (q.spec.projections.empty()) {
+        return "ForEach() requires at least one projected attribute";
+      }
+      break;
+    case ConsumeKind::kMaterialize:
+      if (q.spec.projections.empty()) {
+        return "Materialize() requires at least one projected attribute "
+               "(use Count() for a projection-free cardinality query)";
+      }
+      break;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string Database::ValidateQuery(const Table& t, const crackdb::Query& q) {
+  const auto known = [&t](const std::string& attr) {
+    for (const std::string& column : t.columns) {
+      if (column == attr) return true;
+    }
+    return false;
+  };
+  const auto unknown_attr = [&q](const std::string& attr) {
+    return "unknown attribute '" + attr + "' in table '" + q.table + "'";
+  };
+  for (const QuerySpec::Selection& sel : q.spec.selections) {
+    if (!known(sel.attr)) return unknown_attr(sel.attr);
+  }
+  for (const std::string& attr : q.spec.projections) {
+    if (!known(attr)) return unknown_attr(attr);
+  }
+  if (q.consume.kind == ConsumeKind::kAggregate && !known(q.consume.attr)) {
+    return unknown_attr(q.consume.attr);
+  }
+  return "";
+}
+
+Expected<ExecuteResult> Database::Execute(crackdb::Query query) {
+  if (!query.error.empty()) return QueryError{std::move(query.error)};
+  Table* t = FindTableOrNull(query.table);
+  if (t == nullptr) return QueryError{"unknown table '" + query.table + "'"};
+  std::string invalid = NormalizeTerminal(query);
+  if (invalid.empty()) invalid = ValidateQuery(*t, query);
+  if (!invalid.empty()) return QueryError{std::move(invalid)};
+  t->queries.fetch_add(1, std::memory_order_relaxed);
+  ExecuteResult result = t->engine->Execute(query.spec, query.consume);
+  NoteOps(*t, 1);
+  return result;
+}
+
+std::vector<Expected<ExecuteResult>> Database::ExecuteBatch(
+    std::span<const crackdb::Query> queries) {
+  // Validate everything first, then run one engine batch per table (the
+  // batch scheduler groups its sub-queries by partition, so each target
+  // partition is locked once per table batch). Results scatter back into
+  // query order.
+  std::vector<std::optional<QueryError>> errors(queries.size());
+  struct TableBatch {
+    Table* table;
+    std::vector<size_t> indexes;
+    std::vector<QuerySpec> specs;
+    std::vector<ConsumeSpec> consumes;
+  };
+  std::vector<TableBatch> batches;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    crackdb::Query query = queries[i];
+    if (!query.error.empty()) {
+      errors[i] = QueryError{std::move(query.error)};
+      continue;
+    }
+    Table* t = FindTableOrNull(query.table);
+    if (t == nullptr) {
+      errors[i] = QueryError{"unknown table '" + query.table + "'"};
+      continue;
+    }
+    std::string invalid = NormalizeTerminal(query);
+    if (invalid.empty()) invalid = ValidateQuery(*t, query);
+    if (!invalid.empty()) {
+      errors[i] = QueryError{std::move(invalid)};
+      continue;
+    }
+    TableBatch* batch = nullptr;
+    for (TableBatch& existing : batches) {
+      if (existing.table == t) {
+        batch = &existing;
+        break;
+      }
+    }
+    if (batch == nullptr) {
+      batches.push_back({t, {}, {}, {}});
+      batch = &batches.back();
+    }
+    batch->indexes.push_back(i);
+    batch->specs.push_back(std::move(query.spec));
+    batch->consumes.push_back(std::move(query.consume));
+  }
+
+  std::vector<std::optional<ExecuteResult>> executed(queries.size());
+  for (TableBatch& batch : batches) {
+    batch.table->queries.fetch_add(batch.specs.size(),
+                                   std::memory_order_relaxed);
+    std::vector<ExecuteResult> results =
+        batch.table->engine->ExecuteMany(batch.specs, batch.consumes);
+    for (size_t j = 0; j < batch.indexes.size(); ++j) {
+      executed[batch.indexes[j]] = std::move(results[j]);
+    }
+    NoteOps(*batch.table, batch.specs.size());
+  }
+
+  std::vector<Expected<ExecuteResult>> out;
+  out.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (errors[i].has_value()) {
+      out.push_back(std::move(*errors[i]));
+    } else {
+      out.push_back(std::move(*executed[i]));
+    }
+  }
+  return out;
 }
 
 QueryResult Database::Query(const std::string& table, const QuerySpec& spec) {
@@ -354,10 +494,15 @@ PartitionedRelation& Database::partitions(const std::string& table) {
 }
 
 Database::Table& Database::FindTable(const std::string& table) const {
+  Table* t = FindTableOrNull(table);
+  if (t == nullptr) Die("unknown table", table);
+  return *t;
+}
+
+Database::Table* Database::FindTableOrNull(const std::string& table) const {
   std::shared_lock<std::shared_mutex> lock(tables_mu_);
   auto it = tables_.find(table);
-  if (it == tables_.end()) Die("unknown table", table);
-  return *it->second;
+  return it == tables_.end() ? nullptr : it->second.get();
 }
 
 }  // namespace crackdb

@@ -19,6 +19,7 @@
 #include "adaptive/workload_histogram.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
+#include "engine/query.h"
 #include "engine/sharded_engine.h"
 #include "storage/catalog.h"
 #include "storage/partitioner.h"
@@ -189,10 +190,42 @@ class Database {
   /// rebuild blocks on engine-construction futures).
   bool MaybeRepartition(const std::string& table);
 
+  /// Entry point of the fluent query surface: a builder pre-bound to
+  /// `table` and to this database, so the terminal reads
+  ///
+  ///   auto n = db.From("R").Where("a", lo, hi).Count().Execute();
+  ///   auto s = db.From("R").Where("a", lo, hi)
+  ///                .Aggregate(AggregateOp::kSum, "b").Execute();
+  ///   auto r = db.From("R").Where("a", lo, hi).Project("b", "c").Execute();
+  ///
+  /// Predicates are validated as they are added; names are validated
+  /// against the table schema by Execute. See engine/query.h.
+  QueryBuilder From(std::string table) {
+    return QueryBuilder(std::move(table), this);
+  }
+
+  /// Executes a compiled query with its declared consumption mode.
+  /// Validation errors — the builder's recorded error, an unknown table,
+  /// an unknown selection/projection/aggregate attribute — come back as
+  /// an Expected error with a clear message; nothing asserts inside an
+  /// engine. Count/Aggregate queries push their scalars below the
+  /// partition merge (zero reconstruction, no tuple data crossing the
+  /// merge); ForEach streams rows sequentially on the calling thread.
+  Expected<ExecuteResult> Execute(crackdb::Query query);
+
+  /// Batch variant: queries may target different tables; per table they
+  /// run as one scheduled engine batch (one lock acquisition per target
+  /// partition per batch). Results come back in query order; invalid
+  /// queries yield their error without executing and without disturbing
+  /// the rest of the batch.
+  std::vector<Expected<ExecuteResult>> ExecuteBatch(
+      std::span<const crackdb::Query> queries);
+
   /// Evaluates `spec` across the table's partitions; results merge outside
   /// the partition locks. Identical rows (as a multiset) to running the
   /// same spec on an unsharded engine over the source relation. Thin
-  /// wrapper over the batch pipeline (a batch of one).
+  /// wrapper over the batch pipeline (a batch of one) with Materialize
+  /// consumption — the fluent surface's default terminal.
   QueryResult Query(const std::string& table, const QuerySpec& spec);
 
   /// Schedules `spec` on the pool with its home partition as the affinity
@@ -249,6 +282,9 @@ class Database {
 
     PartitionedRelation relation;
     std::unique_ptr<ShardedEngine> engine;
+    /// Schema snapshot for lock-free name validation (Execute): columns
+    /// are fixed at registration, before any traffic.
+    std::vector<std::string> columns;
     /// Serializes writers per table and guards the global-key router
     /// (Append/Delete/Locate on `relation`).
     mutable std::shared_mutex writer_mu;
@@ -299,6 +335,15 @@ class Database {
   bool RunTick(Table& t);
 
   Table& FindTable(const std::string& table) const;
+  /// Non-dying lookup for the validated Execute path.
+  Table* FindTableOrNull(const std::string& table) const;
+
+  /// "" when valid; otherwise the first unknown-attribute failure. The
+  /// caller checks the query's builder-recorded error first and runs the
+  /// terminal normalization (NormalizeTerminal in database.cc, which
+  /// re-applies the builder's compile step so hand-built Query structs
+  /// are as safe as Build() output) before this name check.
+  static std::string ValidateQuery(const Table& t, const crackdb::Query& q);
 
   Catalog catalog_;
   std::unique_ptr<ThreadPool> pool_;

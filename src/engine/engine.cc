@@ -1,22 +1,114 @@
 #include "engine/engine.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/timer.h"
+#include "engine/query.h"
 
 namespace crackdb {
 
+ConsumeOutcome SelectionHandle::Consume(
+    const ConsumeSpec& consume, std::span<const std::string> projections) {
+  ConsumeOutcome out;
+  switch (consume.kind) {
+    case ConsumeKind::kCount:
+      out.count = NumRows();
+      return out;
+    case ConsumeKind::kAggregate: {
+      // FetchView folds straight off the engine's own storage wherever a
+      // contiguous view exists (sideways maps, presorted copies, chunk
+      // materializations); scattered engines override Consume instead.
+      std::vector<Value> storage;
+      const std::span<const Value> view = FetchView(consume.attr, &storage);
+      out.count = NumRows();
+      FoldSpan(consume.op, view, &out.aggregate, &out.aggregate_valid);
+      return out;
+    }
+    case ConsumeKind::kForEach: {
+      std::vector<std::vector<Value>> storages(projections.size());
+      std::vector<std::span<const Value>> views;
+      views.reserve(projections.size());
+      for (size_t c = 0; c < projections.size(); ++c) {
+        views.push_back(FetchView(projections[c], &storages[c]));
+      }
+      const size_t rows = NumRows();
+      std::vector<Value> row(projections.size());
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < views.size(); ++c) row[c] = views[c][r];
+        consume.visitor(row);
+      }
+      out.count = rows;
+      return out;
+    }
+    case ConsumeKind::kMaterialize:
+      break;
+  }
+  // Materialization is Engine::Execute's own path (it owns the result and
+  // the cost attribution); reaching Consume with it is a caller bug.
+  std::fprintf(stderr,
+               "SelectionHandle::Consume called with kMaterialize; "
+               "use Engine::Execute or Run\n");
+  std::abort();
+}
+
 QueryResult Engine::Run(const QuerySpec& spec) {
-  QueryResult result;
+  return std::move(Execute(spec, ConsumeSpec::Materialize()).rows);
+}
+
+ExecuteResult Engine::Execute(const QuerySpec& spec,
+                              const ConsumeSpec& consume) {
+  ExecuteResult result;
+  result.kind = consume.kind;
+  const double prepare_before = cost_.prepare_micros;
+
   Timer select_timer;
   std::unique_ptr<SelectionHandle> handle = Select(spec);
-  cost_.select_micros += select_timer.ElapsedMicros();
+  const double select_elapsed = select_timer.ElapsedMicros();
+  result.cost.prepare_micros = cost_.prepare_micros - prepare_before;
+  result.cost.select_micros = select_elapsed;
+  cost_.select_micros += select_elapsed;
 
-  Timer tr_timer;
-  result.columns.reserve(spec.projections.size());
-  for (const std::string& attr : spec.projections) {
-    result.columns.push_back(handle->Fetch(attr));
+  switch (consume.kind) {
+    case ConsumeKind::kMaterialize: {
+      Timer tr_timer;
+      result.rows.columns.reserve(spec.projections.size());
+      for (const std::string& attr : spec.projections) {
+        result.rows.columns.push_back(handle->Fetch(attr));
+      }
+      result.rows.num_rows = handle->NumRows();
+      result.count = result.rows.num_rows;
+      const double tr_elapsed = tr_timer.ElapsedMicros();
+      result.cost.reconstruct_micros = tr_elapsed;
+      cost_.reconstruct_micros += tr_elapsed;
+      break;
+    }
+    case ConsumeKind::kCount:
+    case ConsumeKind::kAggregate: {
+      // Scalar terminals: no tuple is reconstructed, so the fold is
+      // selection-side work and reconstruct_micros stays exactly 0.
+      Timer fold_timer;
+      const ConsumeOutcome out = handle->Consume(consume, spec.projections);
+      result.count = out.count;
+      result.aggregate = out.aggregate;
+      result.aggregate_valid = out.aggregate_valid;
+      const double fold_elapsed = fold_timer.ElapsedMicros();
+      result.cost.select_micros += fold_elapsed;
+      cost_.select_micros += fold_elapsed;
+      break;
+    }
+    case ConsumeKind::kForEach: {
+      // Streaming still delivers real tuples (that is reconstruction);
+      // what it skips is the materialized copy of the result.
+      Timer visit_timer;
+      const ConsumeOutcome out = handle->Consume(consume, spec.projections);
+      result.count = out.count;
+      const double visit_elapsed = visit_timer.ElapsedMicros();
+      result.cost.reconstruct_micros = visit_elapsed;
+      cost_.reconstruct_micros += visit_elapsed;
+      break;
+    }
   }
-  result.num_rows = handle->NumRows();
-  cost_.reconstruct_micros += tr_timer.ElapsedMicros();
   return result;
 }
 

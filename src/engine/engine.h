@@ -47,6 +47,14 @@ struct CostBreakdown {
   void Reset() { *this = CostBreakdown{}; }
 };
 
+// The consumption-mode surface (engine/query.h): how a query's qualifying
+// tuples are consumed (materialize / count / aggregate / streaming
+// visitor), the scalar outcome of a pushed-down consumption, and the
+// tagged result of Engine::Execute.
+struct ConsumeSpec;
+struct ConsumeOutcome;
+struct ExecuteResult;
+
 /// A prepared selection over one relation: the set of qualifying tuples,
 /// with engine-specific access paths for reconstructing further attributes.
 ///
@@ -63,6 +71,20 @@ class SelectionHandle {
   virtual std::vector<Value> Fetch(const std::string& attr) = 0;
   virtual std::vector<Value> FetchAt(const std::string& attr,
                                      std::span<const uint32_t> ordinals) = 0;
+
+  /// Push-based consumption of the qualifying tuples: count them, fold
+  /// one attribute (sum/min/max), or stream rows of `projections` through
+  /// the spec's visitor — without building a QueryResult. The default
+  /// works for every engine via Fetch/FetchView (zero-copy wherever
+  /// FetchView serves a real view); handles whose qualifying tuples are
+  /// scattered positional lookups (plain scans, selection cracking, row
+  /// stores) override it to fold in place and skip the materialization.
+  /// Not called with ConsumeSpec::Materialize (that is Execute's path).
+  /// For handles whose projection declaration is binding (chunk-wise,
+  /// sharded), an aggregate's attribute must have been declared — the
+  /// builder's compile step guarantees this.
+  virtual ConsumeOutcome Consume(const ConsumeSpec& consume,
+                                 std::span<const std::string> projections);
 
   /// Zero-copy variant of Fetch where the engine can expose the qualifying
   /// values as a contiguous view — the paper's "non-materialized view of
@@ -98,8 +120,20 @@ class Engine {
   /// Convenience: Select + Fetch of every projection, with generic cost
   /// attribution (Select = selection cost, Fetch = reconstruction cost).
   /// Virtual so composite engines (sharding) can fan the whole query out
-  /// and attribute per-partition costs precisely.
+  /// and attribute per-partition costs precisely. Equivalent to
+  /// Execute(spec, ConsumeSpec::Materialize()).rows.
   virtual QueryResult Run(const QuerySpec& spec);
+
+  /// Evaluates `spec` and consumes the qualifying tuples per `consume`
+  /// (engine/query.h): materialize, count, aggregate, or stream through a
+  /// visitor. Cost attribution rule: reconstruct_micros charges only work
+  /// that reconstructs tuples into the caller's hands (materialization,
+  /// merges, visitor delivery) — Count/Aggregate queries therefore report
+  /// reconstruct_micros == 0 and charge their selection + fold to
+  /// select_micros. The returned result carries this query's own cost
+  /// delta in addition to the accumulation in cost().
+  virtual ExecuteResult Execute(const QuerySpec& spec,
+                                const ConsumeSpec& consume);
 
   CostBreakdown& cost() { return cost_; }
   const CostBreakdown& cost() const { return cost_; }

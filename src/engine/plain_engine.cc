@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/query.h"
+
 namespace crackdb {
 
 namespace {
@@ -27,6 +29,23 @@ class PlainHandle : public SelectionHandle {
     // Post-join order: scattered lookups over the whole base column.
     for (uint32_t ord : ordinals) out.push_back(column[keys_[ord]]);
     return out;
+  }
+
+  ConsumeOutcome Consume(const ConsumeSpec& consume,
+                         std::span<const std::string> projections) override {
+    // Fast path: fold straight off the base column through the key list —
+    // the default would first materialize the gather into a temp vector.
+    if (consume.kind == ConsumeKind::kAggregate) {
+      const Column& column = relation_->column(consume.attr);
+      ConsumeOutcome out;
+      out.count = keys_.size();
+      FoldIndexed(
+          consume.op, keys_.size(),
+          [this, &column](size_t i) { return column[keys_[i]]; },
+          &out.aggregate, &out.aggregate_valid);
+      return out;
+    }
+    return SelectionHandle::Consume(consume, projections);
   }
 
  private:

@@ -1,0 +1,106 @@
+#include "engine/query.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/database.h"
+
+namespace crackdb {
+
+[[noreturn]] void DieOnErrorAccess(const std::string& error) {
+  std::fprintf(stderr, "query: value() called on an error result: %s\n",
+               error.c_str());
+  std::abort();
+}
+
+void QueryBuilder::Fail(std::string message) {
+  if (q_.error.empty()) q_.error = std::move(message);
+}
+
+void QueryBuilder::AddSelection(std::string attr, RangePredicate pred,
+                                bool disjunct) {
+  if (attr.empty()) {
+    Fail("empty attribute name in selection");
+    return;
+  }
+  if (pred.low > pred.high) {
+    Fail("inverted range on '" + attr + "': low " + std::to_string(pred.low) +
+         " > high " + std::to_string(pred.high));
+    return;
+  }
+  if (disjunct) {
+    any_disjunctive_ = true;
+  } else if (!q_.spec.selections.empty()) {
+    mixed_where_ = true;
+  }
+  if (mixed_where_ && any_disjunctive_) {
+    Fail("cannot mix a multi-predicate Where() conjunction with OrWhere(); "
+         "a query is either fully conjunctive or fully disjunctive");
+    return;
+  }
+  q_.spec.disjunctive = any_disjunctive_;
+  q_.spec.selections.push_back({std::move(attr), pred});
+}
+
+void QueryBuilder::AddProjection(std::string attr) {
+  if (attr.empty()) {
+    Fail("empty attribute name in projection");
+    return;
+  }
+  q_.spec.projections.push_back(std::move(attr));
+}
+
+Query QueryBuilder::Build() {
+  switch (q_.consume.kind) {
+    case ConsumeKind::kCount:
+      // The pushdown: a count touches no attribute at all, so the
+      // compiled spec declares none — chunk-wise engines then skip their
+      // per-chunk materialization entirely.
+      q_.spec.projections.clear();
+      break;
+    case ConsumeKind::kAggregate:
+      if (q_.consume.attr.empty()) {
+        Fail("Aggregate() requires an attribute");
+        break;
+      }
+      // Declare exactly the folded attribute: engines whose handles serve
+      // only declared projections (partial, sharded) can then fold it,
+      // and nothing else is ever materialized.
+      q_.spec.projections = {q_.consume.attr};
+      break;
+    case ConsumeKind::kForEach:
+      if (!q_.consume.visitor) {
+        Fail("ForEach() requires a visitor");
+      } else if (q_.spec.projections.empty()) {
+        Fail("ForEach() requires at least one projected attribute");
+      }
+      break;
+    case ConsumeKind::kMaterialize:
+      if (q_.spec.projections.empty()) {
+        Fail("Materialize() requires at least one projected attribute "
+             "(use Count() for a projection-free cardinality query)");
+      }
+      break;
+  }
+  return std::move(q_);
+}
+
+QuerySpec QueryBuilder::Spec() {
+  Query q = Build();
+  if (!q.error.empty()) {
+    std::fprintf(stderr, "query builder: invalid query: %s\n",
+                 q.error.c_str());
+    std::abort();
+  }
+  return std::move(q.spec);
+}
+
+Expected<ExecuteResult> QueryBuilder::Execute() {
+  if (db_ == nullptr) {
+    return QueryError{
+        "Execute() on an unbound builder (create it via Database::From)"};
+  }
+  return db_->Execute(Build());
+}
+
+}  // namespace crackdb

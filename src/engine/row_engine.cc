@@ -1,6 +1,7 @@
 #include "engine/row_engine.h"
 
 #include "common/timer.h"
+#include "engine/query.h"
 
 namespace crackdb {
 
@@ -28,6 +29,23 @@ class RowHandle : public SelectionHandle {
     out.reserve(ordinals.size());
     for (uint32_t ord : ordinals) out.push_back(store_->At(rows_[ord], col));
     return out;
+  }
+
+  ConsumeOutcome Consume(const ConsumeSpec& consume,
+                         std::span<const std::string> projections) override {
+    // Fast path: fold per matching row straight out of the NSM records —
+    // the one access pattern a row store is actually good at.
+    if (consume.kind == ConsumeKind::kAggregate) {
+      const size_t col = store_->ColumnOrdinal(consume.attr);
+      ConsumeOutcome out;
+      out.count = rows_.size();
+      FoldIndexed(
+          consume.op, rows_.size(),
+          [this, col](size_t i) { return store_->At(rows_[i], col); },
+          &out.aggregate, &out.aggregate_valid);
+      return out;
+    }
+    return SelectionHandle::Consume(consume, projections);
   }
 
  private:

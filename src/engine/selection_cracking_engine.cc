@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/query.h"
+
 namespace crackdb {
 
 namespace {
@@ -31,6 +33,24 @@ class CrackedKeysHandle : public SelectionHandle {
     out.reserve(ordinals.size());
     for (uint32_t ord : ordinals) out.push_back(column[keys_[ord]]);
     return out;
+  }
+
+  ConsumeOutcome Consume(const ConsumeSpec& consume,
+                         std::span<const std::string> projections) override {
+    // Fast path: the keys arrive in cracked (random) order, so Fetch is a
+    // scattered gather either way — folding in place at least skips the
+    // temp vector the default would materialize.
+    if (consume.kind == ConsumeKind::kAggregate) {
+      const Column& column = relation_->column(consume.attr);
+      ConsumeOutcome out;
+      out.count = keys_.size();
+      FoldIndexed(
+          consume.op, keys_.size(),
+          [this, &column](size_t i) { return column[keys_[i]]; },
+          &out.aggregate, &out.aggregate_valid);
+      return out;
+    }
+    return SelectionHandle::Consume(consume, projections);
   }
 
  private:

@@ -60,6 +60,44 @@ class ShardedHandle : public SelectionHandle {
     return out;
   }
 
+  ConsumeOutcome Consume(const ConsumeSpec& consume,
+                         std::span<const std::string> projections) override {
+    // Fast paths over the per-shard materializations: fold or visit them
+    // shard by shard instead of concatenating into one merged column (the
+    // default Consume would go through Fetch, which concatenates).
+    ConsumeOutcome out;
+    if (consume.kind == ConsumeKind::kAggregate) {
+      const size_t slot = ProjectionSlot(consume.attr);
+      out.count = prefix_.back();
+      for (const std::vector<std::vector<Value>>& shard : shard_columns_) {
+        FoldSpan(consume.op, shard[slot], &out.aggregate,
+                 &out.aggregate_valid);
+      }
+      return out;
+    }
+    if (consume.kind == ConsumeKind::kForEach) {
+      out.count = prefix_.back();
+      if (projections.empty()) return out;
+      std::vector<size_t> slots;
+      slots.reserve(projections.size());
+      for (const std::string& attr : projections) {
+        slots.push_back(ProjectionSlot(attr));
+      }
+      std::vector<Value> row(projections.size());
+      for (const std::vector<std::vector<Value>>& shard : shard_columns_) {
+        const size_t rows = shard[slots[0]].size();
+        for (size_t r = 0; r < rows; ++r) {
+          for (size_t c = 0; c < slots.size(); ++c) {
+            row[c] = shard[slots[c]][r];
+          }
+          consume.visitor(row);
+        }
+      }
+      return out;
+    }
+    return SelectionHandle::Consume(consume, projections);
+  }
+
  private:
   size_t ProjectionSlot(const std::string& attr) const {
     for (size_t i = 0; i < projections_.size(); ++i) {
@@ -162,7 +200,8 @@ void ShardedEngine::SpliceEngines(size_t first, size_t removed,
 }
 
 std::vector<std::vector<ShardedEngine::ShardResult>>
-ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs) {
+ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
+                            std::span<const ConsumeSpec> consumes) {
   // The partition map is stable for the whole batch: shared hold of the
   // gate spans grouping, fan-out, and the cost roll-up. Pool workers
   // (async queries' own tasks) enter urgently so they can never deadlock
@@ -191,8 +230,6 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs) {
     if (!groups[p].empty()) active.push_back(p);
   }
 
-  std::vector<CostBreakdown> deltas(active.size());
-
   auto run_group = [&](size_t a) {
     const size_t p = active[a];
     Engine& child = *engines_[p];
@@ -200,32 +237,62 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs) {
     // One exclusive acquisition serves the whole group: the sub-queries
     // crack the partition's auxiliary structures back to back (batch
     // order, so state evolution matches the one-by-one loop), and every
-    // declared projection is materialized before the lock is released.
+    // declared projection is materialized — or, for scalar consumption,
+    // folded into a partial — before the lock is released.
     std::unique_lock<std::shared_mutex> lock(relation_->partition_mutex(p));
-    CostBreakdown& delta = deltas[a];
     for (const SubQuery& sub : groups[p]) {
       const QuerySpec& spec = specs[sub.spec_index];
+      const ConsumeKind kind = consumes.empty()
+                                   ? ConsumeKind::kMaterialize
+                                   : consumes[sub.spec_index].kind;
+      ShardResult& shard = results[sub.spec_index][sub.slot];
       const CostBreakdown before = child.cost();
       Timer select_timer;
       std::unique_ptr<SelectionHandle> handle = child.Select(spec);
       const double select_elapsed = select_timer.ElapsedMicros();
-
-      Timer fetch_timer;
-      ShardResult& shard = results[sub.spec_index][sub.slot];
-      shard.columns.reserve(spec.projections.size());
-      for (const std::string& attr : spec.projections) {
-        shard.columns.push_back(handle->Fetch(attr));
-      }
-      shard.num_rows = handle->NumRows();
 
       // Charge the child's own attribution where it keeps one (prepare);
       // select/reconstruct use our wall timers so engines whose Select
       // does lazy work in Fetch are still accounted consistently.
       const double prepare =
           child.cost().prepare_micros - before.prepare_micros;
-      delta.prepare_micros += prepare;
-      delta.select_micros += select_elapsed - prepare;
-      delta.reconstruct_micros += fetch_timer.ElapsedMicros();
+      shard.cost.prepare_micros = prepare;
+      shard.cost.select_micros = select_elapsed - prepare;
+
+      switch (kind) {
+        case ConsumeKind::kCount:
+          // The pushdown at its purest: the partition contributes one
+          // integer. No attribute is fetched, no reconstruction happens.
+          shard.num_rows = handle->NumRows();
+          break;
+        case ConsumeKind::kAggregate: {
+          // Partition-local fold under the partition's own lock; the
+          // merge will combine scalars. The fold is selection-side work
+          // (reconstruct stays 0 — no tuple reaches the caller).
+          Timer fold_timer;
+          const ConsumeOutcome out =
+              handle->Consume(consumes[sub.spec_index], spec.projections);
+          shard.num_rows = out.count;
+          shard.aggregate = out.aggregate;
+          shard.aggregate_valid = out.aggregate_valid;
+          shard.cost.select_micros += fold_timer.ElapsedMicros();
+          break;
+        }
+        case ConsumeKind::kMaterialize:
+        case ConsumeKind::kForEach: {
+          // Both materialize per partition inside the lock (the sharded
+          // lifetime contract); they differ at merge time — ForEach
+          // visits the per-partition columns instead of concatenating.
+          Timer fetch_timer;
+          shard.columns.reserve(spec.projections.size());
+          for (const std::string& attr : spec.projections) {
+            shard.columns.push_back(handle->Fetch(attr));
+          }
+          shard.num_rows = handle->NumRows();
+          shard.cost.reconstruct_micros = fetch_timer.ElapsedMicros();
+          break;
+        }
+      }
     }
     // Feed the adaptive subsystem's sensor *outside* the partition's
     // exclusive lock — recording needs only the map gate (still held
@@ -292,10 +359,12 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs) {
   }
 
   CostBreakdown sum;
-  for (const CostBreakdown& delta : deltas) {
-    sum.select_micros += delta.select_micros;
-    sum.reconstruct_micros += delta.reconstruct_micros;
-    sum.prepare_micros += delta.prepare_micros;
+  for (const std::vector<ShardResult>& spec_shards : results) {
+    for (const ShardResult& shard : spec_shards) {
+      sum.select_micros += shard.cost.select_micros;
+      sum.reconstruct_micros += shard.cost.reconstruct_micros;
+      sum.prepare_micros += shard.cost.prepare_micros;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(cost_mu_);
@@ -308,7 +377,7 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs) {
 
 std::vector<ShardedEngine::ShardResult> ShardedEngine::ExecuteShards(
     const QuerySpec& spec) {
-  return std::move(ExecuteBatch({&spec, 1}).front());
+  return std::move(ExecuteBatch({&spec, 1}, {}).front());
 }
 
 std::unique_ptr<SelectionHandle> ShardedEngine::Select(const QuerySpec& spec) {
@@ -350,17 +419,96 @@ QueryResult ShardedEngine::MergeShards(const QuerySpec& spec,
   return result;
 }
 
+ExecuteResult ShardedEngine::MergeExecute(const QuerySpec& spec,
+                                          const ConsumeSpec& consume,
+                                          std::vector<ShardResult> shards) {
+  ExecuteResult result;
+  result.kind = consume.kind;
+  for (const ShardResult& shard : shards) {
+    result.cost.select_micros += shard.cost.select_micros;
+    result.cost.reconstruct_micros += shard.cost.reconstruct_micros;
+    result.cost.prepare_micros += shard.cost.prepare_micros;
+  }
+  switch (consume.kind) {
+    case ConsumeKind::kCount:
+      for (const ShardResult& shard : shards) result.count += shard.num_rows;
+      break;
+    case ConsumeKind::kAggregate:
+      // Scalar merge: partial sums add, partial mins/maxes fold — exactly
+      // one FoldValue per partition, zero tuple data moved.
+      for (const ShardResult& shard : shards) {
+        result.count += shard.num_rows;
+        if (shard.aggregate_valid) {
+          FoldValue(consume.op, shard.aggregate, &result.aggregate,
+                    &result.aggregate_valid);
+        }
+      }
+      break;
+    case ConsumeKind::kForEach: {
+      // Stream the per-partition materializations through the visitor in
+      // partition order, sequentially, on the calling thread, outside
+      // every lock — the cross-partition concatenation never happens.
+      Timer visit_timer;
+      std::vector<Value> row(spec.projections.size());
+      for (const ShardResult& shard : shards) {
+        for (size_t r = 0; r < shard.num_rows; ++r) {
+          for (size_t c = 0; c < shard.columns.size(); ++c) {
+            row[c] = shard.columns[c][r];
+          }
+          consume.visitor(row);
+        }
+        result.count += shard.num_rows;
+      }
+      const double visit_elapsed = visit_timer.ElapsedMicros();
+      result.cost.reconstruct_micros += visit_elapsed;
+      {
+        std::lock_guard<std::mutex> lock(cost_mu_);
+        cost_.reconstruct_micros += visit_elapsed;
+      }
+      break;
+    }
+    case ConsumeKind::kMaterialize: {
+      Timer merge_timer;
+      result.rows = MergeShards(spec, std::move(shards));  // charges cost_
+      result.count = result.rows.num_rows;
+      result.cost.reconstruct_micros += merge_timer.ElapsedMicros();
+      break;
+    }
+  }
+  return result;
+}
+
+ExecuteResult ShardedEngine::Execute(const QuerySpec& spec,
+                                     const ConsumeSpec& consume) {
+  std::vector<ExecuteResult> results = ExecuteMany({&spec, 1}, {&consume, 1});
+  return std::move(results.front());
+}
+
+std::vector<ExecuteResult> ShardedEngine::ExecuteMany(
+    std::span<const QuerySpec> specs, std::span<const ConsumeSpec> consumes) {
+  std::vector<std::vector<ShardResult>> shards = ExecuteBatch(specs, consumes);
+  static const ConsumeSpec kMaterializeAll = ConsumeSpec::Materialize();
+  std::vector<ExecuteResult> results;
+  results.reserve(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const ConsumeSpec& consume =
+        consumes.empty() ? kMaterializeAll : consumes[s];
+    results.push_back(MergeExecute(specs[s], consume, std::move(shards[s])));
+  }
+  return results;
+}
+
 QueryResult ShardedEngine::Run(const QuerySpec& spec) {
-  return MergeShards(spec, ExecuteShards(spec));
+  return std::move(Execute(spec, ConsumeSpec::Materialize()).rows);
 }
 
 std::vector<QueryResult> ShardedEngine::RunBatch(
     std::span<const QuerySpec> specs) {
-  std::vector<std::vector<ShardResult>> shards = ExecuteBatch(specs);
+  std::vector<ExecuteResult> executed = ExecuteMany(specs, {});
   std::vector<QueryResult> results;
-  results.reserve(specs.size());
-  for (size_t s = 0; s < specs.size(); ++s) {
-    results.push_back(MergeShards(specs[s], std::move(shards[s])));
+  results.reserve(executed.size());
+  for (ExecuteResult& result : executed) {
+    results.push_back(std::move(result.rows));
   }
   return results;
 }

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "engine/engine.h"
 #include "engine/engine_factory.h"
+#include "engine/query.h"
 #include "storage/partitioner.h"
 
 namespace crackdb {
@@ -69,11 +70,29 @@ class ShardedEngine : public Engine {
   std::unique_ptr<SelectionHandle> Select(const QuerySpec& spec) override;
   QueryResult Run(const QuerySpec& spec) override;
 
+  /// Consumption-mode execution with the pushdown below the partition
+  /// merge: Count/Aggregate queries compute partial scalars inside each
+  /// partition's lock and the merge combines scalars — no tuple data
+  /// crosses the merge at all, and the result's CostBreakdown attributes
+  /// exactly zero reconstruction. ForEach materializes per partition
+  /// inside the locks (the sharded lifetime contract) but skips the
+  /// cross-partition concatenation: the visitor walks the per-partition
+  /// columns in partition order, sequentially, on the calling thread.
+  ExecuteResult Execute(const QuerySpec& spec,
+                        const ConsumeSpec& consume) override;
+
+  /// Batch variant of Execute: one scheduled batch (one lock acquisition
+  /// per target partition), one tagged result per spec. `consumes` is
+  /// parallel to `specs`; empty means materialize everything.
+  std::vector<ExecuteResult> ExecuteMany(std::span<const QuerySpec> specs,
+                                         std::span<const ConsumeSpec> consumes);
+
   /// Executes many specs as one scheduled batch: sub-queries are grouped
   /// by partition and each partition's group runs under a single lock
   /// acquisition, in batch order. Returns one QueryResult per spec,
   /// row-for-row identical to running the same specs through Run one by
   /// one (each partition sees the same sub-query sequence either way).
+  /// Thin wrapper over ExecuteMany with all-Materialize consumption.
   std::vector<QueryResult> RunBatch(std::span<const QuerySpec> specs);
 
   /// The partition a spec's first sub-query targets (0 when it targets
@@ -115,26 +134,41 @@ class ShardedEngine : public Engine {
   struct ShardResult {
     std::vector<std::vector<Value>> columns;  // aligned with projections
     size_t num_rows = 0;
+    /// Scalar consumption partials (kCount/kAggregate sub-queries).
+    Value aggregate = 0;
+    bool aggregate_valid = false;
+    /// This sub-query's cost attribution on its partition.
+    CostBreakdown cost;
   };
 
   /// The one execution path. Groups the sub-queries of `specs` by target
   /// partition, runs each partition's group as one affine task under a
   /// single partition-lock acquisition (materializing every declared
-  /// projection inside the lock), and sums the cost deltas into cost_.
-  /// Returns, per spec, one ShardResult per target partition in partition
-  /// order. Falls back to inline execution without a pool, with a single
-  /// target group, or when called from a pool worker (an async query's
-  /// own task must not block on the pool).
+  /// projection — or, for scalar consumption, folding partials — inside
+  /// the lock), and sums the cost deltas into cost_. `consumes` is
+  /// parallel to `specs` (empty = materialize everything). Returns, per
+  /// spec, one ShardResult per target partition in partition order. Falls
+  /// back to inline execution without a pool, with a single target group,
+  /// or when called from a pool worker (an async query's own task must
+  /// not block on the pool).
   std::vector<std::vector<ShardResult>> ExecuteBatch(
-      std::span<const QuerySpec> specs);
+      std::span<const QuerySpec> specs, std::span<const ConsumeSpec> consumes);
 
-  /// Single-spec convenience over ExecuteBatch.
+  /// Single-spec convenience over ExecuteBatch (materialize consumption).
   std::vector<ShardResult> ExecuteShards(const QuerySpec& spec);
 
   /// Concatenates a spec's per-partition materializations (outside every
   /// lock) and charges the merge to reconstruct cost.
   QueryResult MergeShards(const QuerySpec& spec,
                           std::vector<ShardResult> shards);
+
+  /// Combines a spec's per-partition ShardResults per its consumption
+  /// mode, outside every lock: scalar modes merge counts/aggregates (no
+  /// tuple data moves), ForEach walks the per-partition columns through
+  /// the visitor, Materialize defers to MergeShards. Sums the per-shard
+  /// cost attributions into the result's cost.
+  ExecuteResult MergeExecute(const QuerySpec& spec, const ConsumeSpec& consume,
+                             std::vector<ShardResult> shards);
 
   const PartitionedRelation* relation_;
   EngineFactory factory_;

@@ -34,11 +34,11 @@ constexpr size_t kThreads = 4;
 using bench::ZipRows;
 
 QuerySpec RandomQuery(Rng* rng) {
-  QuerySpec spec;
-  spec.selections = {{AttrName(1), bench::RandomRange(rng, 1, kDomain, 0.2)},
-                     {AttrName(2), bench::RandomRange(rng, 1, kDomain, 0.6)}};
-  spec.projections = {AttrName(3), AttrName(4)};
-  return spec;
+  QueryBuilder builder;
+  builder.Where(AttrName(1), bench::RandomRange(rng, 1, kDomain, 0.2))
+      .Where(AttrName(2), bench::RandomRange(rng, 1, kDomain, 0.6))
+      .Project(AttrName(3), AttrName(4));
+  return builder.Spec();
 }
 
 class ConcurrencyStressTest : public ::testing::TestWithParam<const char*> {
@@ -353,12 +353,11 @@ TEST_P(ConcurrencyStressTest, RepartitionStormEqualsSerialReplay) {
   // Hot traffic: most ranges inside the low fifth of the domain, so the
   // histogram concentrates and splits fire while the storm runs.
   auto hot_query = [](Rng* rng) {
-    QuerySpec hot;
-    hot.selections = {
-        {AttrName(1), bench::RandomRange(rng, 1, kDomain / 5, 0.2)},
-        {AttrName(2), bench::RandomRange(rng, 1, kDomain, 0.6)}};
-    hot.projections = {AttrName(3), AttrName(4)};
-    return hot;
+    QueryBuilder builder;
+    builder.Where(AttrName(1), bench::RandomRange(rng, 1, kDomain / 5, 0.2))
+        .Where(AttrName(2), bench::RandomRange(rng, 1, kDomain, 0.6))
+        .Project(AttrName(3), AttrName(4));
+    return builder.Spec();
   };
 
   std::vector<std::thread> clients;
