@@ -1,17 +1,32 @@
 // Micro-benchmarks (google-benchmark) for the core cracking primitives:
-// crack-in-two/three, AVL cracker-index operations, ripple updates, and
-// the bit-vector refinement loop. These are the building blocks whose
-// costs compose into every figure of the paper.
+// crack-in-two/three, AVL cracker-index operations, ripple updates, the
+// bit-vector refinement loop, and the dispatched scan/fold/gather kernels.
+// These are the building blocks whose costs compose into every figure of
+// the paper.
+//
+//   ./bench_micro_cracking                 # dispatched arm (widest the CPU has)
+//   ./bench_micro_cracking --kernel=scalar # force the scalar reference arm
+//   ./bench_micro_cracking --smoke         # CI fast path
+//
+// Besides the google-benchmark cases (which report GB/s via bytes_per_second
+// and label each kernel case with the arm it ran on), the binary ends with a
+// hand-timed scalar-vs-dispatched comparison emitting machine-readable
+// `BENCH_micro_kernels {...}` JSON lines (schema: docs/BENCHMARKS.md).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "common/bitvector.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "cracking/crack.h"
 #include "cracking/cracker_index.h"
+#include "kernels/kernels.h"
 #include "updates/ripple.h"
 
 namespace crackdb {
@@ -27,6 +42,19 @@ CrackPairs MakeStore(size_t n, Value domain, uint64_t seed) {
   return store;
 }
 
+std::vector<Value> MakeValues(size_t n, Value domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> values(n);
+  for (auto& v : values) v = rng.Uniform(1, domain);
+  return values;
+}
+
+void SetKernelCounters(benchmark::State& state, size_t bytes_per_iter) {
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes_per_iter));
+  state.SetLabel(kernels::IsaName(kernels::ActiveIsa()));
+}
+
 void BM_CrackInTwo(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const CrackPairs pristine = MakeStore(n, 1'000'000, 1);
@@ -39,6 +67,8 @@ void BM_CrackInTwo(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
+  // Bytes = the logical pair store (head + tail), not physical traffic.
+  SetKernelCounters(state, 2 * n * sizeof(Value));
 }
 BENCHMARK(BM_CrackInTwo)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
 
@@ -55,6 +85,7 @@ void BM_CrackInThree(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
+  SetKernelCounters(state, 2 * n * sizeof(Value));
 }
 BENCHMARK(BM_CrackInThree)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
 
@@ -108,35 +139,180 @@ void BM_RippleInsert(benchmark::State& state) {
 BENCHMARK(BM_RippleInsert)->Arg(4)->Arg(64)->Arg(512);
 
 void BM_BitVectorRefine(benchmark::State& state) {
+  // The refinement loop as the engines run it today: the dispatched
+  // match_bitmap kernel in kAnd mode.
   const size_t n = static_cast<size_t>(state.range(0));
-  Rng rng(8);
-  std::vector<Value> tail(n);
-  for (auto& v : tail) v = rng.Uniform(1, 1'000'000);
+  const std::vector<Value> tail = MakeValues(n, 1'000'000, 8);
   const RangePredicate pred = RangePredicate::Closed(250'000, 750'000);
   BitVector bv(n, true);
   for (auto _ : state) {
-    for (size_t i = 0; i < n; ++i) {
-      if (bv.Get(i) && !pred.Matches(tail[i])) bv.Clear(i);
-    }
+    kernels::MatchBitmap(tail.data(), 0, n, pred, bv.word_data(),
+                         kernels::BitmapMode::kAnd);
     benchmark::DoNotOptimize(bv.Count());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
+  SetKernelCounters(state, n * sizeof(Value));
 }
 BENCHMARK(BM_BitVectorRefine)->Arg(1 << 14)->Arg(1 << 18);
 
+void BM_KernelSumFold(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Value> values = MakeValues(n, 1'000'000, 9);
+  for (auto _ : state) {
+    Value acc = 0;
+    bool valid = false;
+    kernels::FoldSpan(kernels::FoldOp::kSum, values.data(), n, &acc, &valid);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  SetKernelCounters(state, n * sizeof(Value));
+}
+BENCHMARK(BM_KernelSumFold)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_KernelSelectRange(benchmark::State& state) {
+  // Position-list select at ~50% selectivity: the unindexed-piece scan.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Value> values = MakeValues(n, 1'000'000, 10);
+  const RangePredicate pred = RangePredicate::Closed(250'000, 750'000);
+  std::vector<Key> out;
+  out.reserve(n);
+  for (auto _ : state) {
+    out.clear();
+    kernels::SelectRange(values.data(), n, pred, 0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  SetKernelCounters(state, n * sizeof(Value));
+}
+BENCHMARK(BM_KernelSelectRange)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_KernelGather(benchmark::State& state) {
+  // Positional fetch (tuple reconstruction) over a shuffled position list.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Value> values = MakeValues(n, 1'000'000, 11);
+  Rng rng(12);
+  std::vector<Key> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<Key>(i);
+  for (size_t i = n; i > 1; --i) {
+    const size_t j =
+        static_cast<size_t>(rng.Uniform(0, static_cast<Value>(i - 1)));
+    std::swap(keys[i - 1], keys[j]);
+  }
+  std::vector<Value> out(n);
+  for (auto _ : state) {
+    kernels::Gather(values.data(), keys.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  SetKernelCounters(state, n * (sizeof(Value) + sizeof(Key)));
+}
+BENCHMARK(BM_KernelGather)->Arg(1 << 14)->Arg(1 << 18);
+
 }  // namespace
+
+// Hand-timed scalar-vs-dispatched A/B over the two acceptance kernels
+// (crack-in-two and the Sum fold), emitting one `BENCH_micro_kernels` JSON
+// line per kernel. Timings are best-of-reps; GB/s uses the logical input
+// size (pair store for cracks, value span for folds). `isa` is whatever
+// --kernel selected, so --kernel=scalar reports a ~1.0 speedup by
+// construction and the scalar baseline is measured either way.
+void EmitKernelComparison(bool smoke) {
+  const size_t n = smoke ? size_t{20'000} : size_t{200'000};
+  const int reps = smoke ? 3 : 15;
+  const kernels::Isa arm = kernels::ActiveIsa();
+
+  const std::vector<Value> values = MakeValues(n, 1'000'000, 13);
+  std::vector<Value> tails(n);
+  for (size_t i = 0; i < n; ++i) tails[i] = static_cast<Value>(i);
+  const Bound bound{500'000, true};
+
+  auto time_crack = [&](kernels::Isa isa) {
+    kernels::ForceIsa(isa);
+    std::vector<Value> head(n);
+    std::vector<Value> tail(n);
+    double best = 0;
+    for (int r = 0; r < reps; ++r) {
+      std::copy(values.begin(), values.end(), head.begin());
+      std::copy(tails.begin(), tails.end(), tail.begin());
+      Timer t;
+      benchmark::DoNotOptimize(
+          kernels::CrackInTwoPairs(head.data(), tail.data(), n, bound));
+      const double micros = t.ElapsedMicros();
+      if (r == 0 || micros < best) best = micros;
+    }
+    return best;
+  };
+  auto time_fold = [&](kernels::Isa isa) {
+    kernels::ForceIsa(isa);
+    double best = 0;
+    for (int r = 0; r < reps; ++r) {
+      Value acc = 0;
+      bool valid = false;
+      Timer t;
+      kernels::FoldSpan(kernels::FoldOp::kSum, values.data(), n, &acc,
+                        &valid);
+      const double micros = t.ElapsedMicros();
+      benchmark::DoNotOptimize(acc);
+      if (r == 0 || micros < best) best = micros;
+    }
+    return best;
+  };
+
+  struct Case {
+    const char* op;
+    double scalar_micros;
+    double kernel_micros;
+    size_t bytes;
+  };
+  const Case cases[] = {
+      {"crack_in_two", time_crack(kernels::Isa::kScalar), time_crack(arm),
+       2 * n * sizeof(Value)},
+      {"sum_fold", time_fold(kernels::Isa::kScalar), time_fold(arm),
+       n * sizeof(Value)},
+  };
+  kernels::ForceIsa(arm);
+
+  for (const Case& c : cases) {
+    const double gbps_scalar =
+        static_cast<double>(c.bytes) / (c.scalar_micros * 1e3);
+    const double gbps_kernel =
+        static_cast<double>(c.bytes) / (c.kernel_micros * 1e3);
+    std::printf(
+        "BENCH_micro_kernels {\"op\":\"%s\",\"rows\":%zu,\"isa\":\"%s\","
+        "\"scalar_micros\":%.1f,\"kernel_micros\":%.1f,"
+        "\"scalar_gbps\":%.2f,\"kernel_gbps\":%.2f,\"speedup\":%.2f}\n",
+        c.op, n, kernels::IsaName(arm), c.scalar_micros, c.kernel_micros,
+        gbps_scalar, gbps_kernel, c.scalar_micros / c.kernel_micros);
+  }
+}
+
 }  // namespace crackdb
 
 // BENCHMARK_MAIN() with a `--smoke` translation so this binary registers as
-// a CTest smoke test like the figure benches: one near-instant iteration per
-// benchmark, same code paths.
+// a CTest smoke test like the figure benches (one near-instant iteration per
+// benchmark, same code paths), plus `--kernel=ISA` to pin the dispatch arm
+// before any kernel runs.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool smoke = false;
   for (int i = 0; i < argc; ++i) {
     if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+      continue;
+    }
+    if (i > 0 && std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      crackdb::kernels::Isa isa;
+      if (!crackdb::kernels::ParseIsa(argv[i] + 9, &isa)) {
+        std::fprintf(stderr,
+                     "--kernel wants scalar|sse2|avx2|auto, got '%s'\n",
+                     argv[i] + 9);
+        return 2;
+      }
+      crackdb::kernels::ForceIsa(isa);
       continue;
     }
     args.push_back(argv[i]);
@@ -148,5 +324,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  crackdb::EmitKernelComparison(smoke);
   return 0;
 }

@@ -32,6 +32,7 @@
 #include "common/timer.h"
 #include "engine/database.h"
 #include "engine/plain_engine.h"
+#include "kernels/cpu_dispatch.h"
 #include "storage/catalog.h"
 
 namespace crackdb::bench {
@@ -214,10 +215,12 @@ void Run(const BenchArgs& args, const ApiOptions& opt) {
   Rng data_rng(args.seed);
   Relation& source =
       CreateUniformRelation(&catalog, "R", 7, rows, kDomain, &data_rng);
+  const char* kernel_isa = kernels::IsaName(kernels::ActiveIsa());
   std::printf(
-      "# query api: engine=%s rows=%zu queries=%zu partitions=%zu pool=%zu\n",
+      "# query api: engine=%s rows=%zu queries=%zu partitions=%zu pool=%zu "
+      "kernel=%s\n",
       effective.engine.c_str(), rows, queries, effective.partitions,
-      effective.pool);
+      effective.pool, kernel_isa);
 
   if (!VerifyAgainstOracle(source, effective)) {
     std::fprintf(stderr,
@@ -266,13 +269,20 @@ void Run(const BenchArgs& args, const ApiOptions& opt) {
                   Fmt(count_speedup, 2), "0"});
     table.AddRow({std::to_string(pct), "sum", Fmt(sum.qps, 0),
                   Fmt(sum_speedup, 2), "0"});
+    // End-to-end fold throughput of the Sum arm: bytes of qualifying
+    // values folded per second of wall-clock query time (selection
+    // included), so it is comparable across kernel arms via --kernel.
+    const double sum_fold_gbps = static_cast<double>(sum.total_count) *
+                                 sizeof(Value) * sum.qps /
+                                 static_cast<double>(queries) / 1e9;
     std::printf(
         "BENCH_query_api {\"engine\":\"%s\",\"rows\":%zu,\"queries\":%zu,"
-        "\"sel_pct\":%zu,\"materialize_qps\":%.1f,\"count_qps\":%.1f,"
-        "\"count_speedup\":%.3f,\"sum_qps\":%.1f,\"sum_speedup\":%.3f,"
+        "\"sel_pct\":%zu,\"kernel_isa\":\"%s\",\"materialize_qps\":%.1f,"
+        "\"count_qps\":%.1f,\"count_speedup\":%.3f,\"sum_qps\":%.1f,"
+        "\"sum_speedup\":%.3f,\"sum_fold_gbps\":%.3f,"
         "\"reconstruct_zero\":true,\"verified\":true}\n",
-        effective.engine.c_str(), rows, queries, pct, fold.qps, count.qps,
-        count_speedup, sum.qps, sum_speedup);
+        effective.engine.c_str(), rows, queries, pct, kernel_isa, fold.qps,
+        count.qps, count_speedup, sum.qps, sum_speedup, sum_fold_gbps);
   }
   table.Print();
 }
@@ -326,6 +336,20 @@ int main(int argc, char** argv) {
        [&opt](const char* a) {
          if (std::strncmp(a, "--engine=", 9) != 0) return false;
          opt.engine = a + 9;
+         return true;
+       }},
+      {"--kernel=ISA",
+       "pin the kernel dispatch arm: scalar|sse2|avx2|auto (default auto)",
+       [](const char* a) {
+         if (std::strncmp(a, "--kernel=", 9) != 0) return false;
+         crackdb::kernels::Isa isa;
+         if (!crackdb::kernels::ParseIsa(a + 9, &isa)) {
+           std::fprintf(stderr,
+                        "--kernel wants scalar|sse2|avx2|auto, got '%s'\n",
+                        a + 9);
+           std::exit(2);
+         }
+         crackdb::kernels::ForceIsa(isa);
          return true;
        }},
   };

@@ -53,6 +53,13 @@ class BitVector {
   /// Appends positions of set bits (offset by `base`) to `out`.
   void AppendSetPositions(std::vector<uint32_t>* out, uint32_t base = 0) const;
 
+  /// Raw word storage: bit i lives at word_data()[i >> 6], bit (i & 63).
+  /// Used by the kernel-layer bitmap builders (kernels::MatchBitmap);
+  /// writers must leave bits at positions >= size() clear (Count relies
+  /// on the tail words staying zero).
+  uint64_t* word_data() { return words_.data(); }
+  const uint64_t* word_data() const { return words_.data(); }
+
   friend bool operator==(const BitVector&, const BitVector&);
 
  private:

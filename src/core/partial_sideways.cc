@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/bitvector.h"
+#include "kernels/kernels.h"
 
 namespace crackdb {
 
@@ -230,16 +231,16 @@ PartialQueryResult PartialMapSet::Execute(const PartialQueryRequest& req) {
       const size_t ai = static_cast<size_t>(
           std::find(attrs.begin(), attrs.end(), attr) - attrs.begin());
       const std::vector<Value>& tail = chunks[ai]->store.tail;
+      // Bit i of bv corresponds to tail[r.begin + i]; run the kernel over
+      // the shifted pointer to keep the indices aligned.
       if (!bv_valid) {
         bv = BitVector(r.size(), false);
         bv_valid = true;
-        for (size_t i = 0; i < r.size(); ++i) {
-          if (tail_pred.Matches(tail[r.begin + i])) bv.Set(i);
-        }
+        kernels::MatchBitmap(tail.data() + r.begin, 0, r.size(), tail_pred,
+                             bv.word_data(), kernels::BitmapMode::kAssign);
       } else {
-        for (size_t i = 0; i < r.size(); ++i) {
-          if (bv.Get(i) && !tail_pred.Matches(tail[r.begin + i])) bv.Clear(i);
-        }
+        kernels::MatchBitmap(tail.data() + r.begin, 0, r.size(), tail_pred,
+                             bv.word_data(), kernels::BitmapMode::kAnd);
       }
     }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "kernels/kernels.h"
+
 namespace crackdb {
 
 SidewaysQuery::SidewaysQuery(MapSet& set, const RangePredicate& head_pred,
@@ -37,28 +39,26 @@ void SidewaysQuery::AddTailSelection(const std::string& attr,
       // fall through: this call's tail predicate still applies outside.
     }
     const std::vector<Value>& tail = map.store().tail;
-    for (size_t i = 0; i < area_.begin; ++i) {
-      if (!bv_.Get(i) && pred.Matches(tail[i])) bv_.Set(i);
-    }
-    for (size_t i = area_.end; i < map.size(); ++i) {
-      if (!bv_.Get(i) && pred.Matches(tail[i])) bv_.Set(i);
-    }
+    kernels::MatchBitmap(tail.data(), 0, area_.begin, pred, bv_.word_data(),
+                         kernels::BitmapMode::kOr);
+    kernels::MatchBitmap(tail.data(), area_.end, map.size(), pred,
+                         bv_.word_data(), kernels::BitmapMode::kOr);
     return;
   }
-  // Conjunctive: bit vector spans only the head-predicate area.
+  // Conjunctive: bit vector spans only the head-predicate area, so bit i
+  // of the vector corresponds to tail[area_.begin + i] — the kernels run
+  // over the shifted value pointer to keep bit and value indices aligned.
   const std::vector<Value>& tail = map.store().tail;
   if (!bv_valid_) {
     // select_create_bv
     bv_ = BitVector(area_.size(), false);
     bv_valid_ = true;
-    for (size_t i = 0; i < area_.size(); ++i) {
-      if (pred.Matches(tail[area_.begin + i])) bv_.Set(i);
-    }
+    kernels::MatchBitmap(tail.data() + area_.begin, 0, area_.size(), pred,
+                         bv_.word_data(), kernels::BitmapMode::kAssign);
   } else {
     // select_refine_bv
-    for (size_t i = 0; i < area_.size(); ++i) {
-      if (bv_.Get(i) && !pred.Matches(tail[area_.begin + i])) bv_.Clear(i);
-    }
+    kernels::MatchBitmap(tail.data() + area_.begin, 0, area_.size(), pred,
+                         bv_.word_data(), kernels::BitmapMode::kAnd);
   }
 }
 
@@ -101,8 +101,9 @@ std::vector<Value> SidewaysQuery::FetchTail(const std::string& attr) {
     return out;
   }
   EnsureQualifyingPositions();
-  out.reserve(qualifying_positions_.size());
-  for (uint32_t pos : qualifying_positions_) out.push_back(tail[pos]);
+  out.resize(qualifying_positions_.size());
+  kernels::Gather(tail.data(), qualifying_positions_.data(),
+                  qualifying_positions_.size(), out.data());
   return out;
 }
 
@@ -122,8 +123,9 @@ std::vector<Value> SidewaysQuery::FetchHead() {
     return out;
   }
   EnsureQualifyingPositions();
-  out.reserve(qualifying_positions_.size());
-  for (uint32_t pos : qualifying_positions_) out.push_back(head[pos]);
+  out.resize(qualifying_positions_.size());
+  kernels::Gather(head.data(), qualifying_positions_.data(),
+                  qualifying_positions_.size(), out.data());
   return out;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <optional>
 
+#include "kernels/kernels.h"
+
 namespace crackdb {
 
 void CrackPairs::DropHead() {
@@ -22,44 +24,28 @@ void CrackPairs::RestoreHead(std::vector<Value> recovered) {
 size_t CrackInTwo(CrackPairs& store, size_t begin, size_t end,
                   const Bound& bound) {
   assert(!store.head_dropped);
-  size_t i = begin;
-  size_t j = end;
-  // Hoare-style partition: i scans for entries belonging to the upper
-  // part, j for entries belonging to the lower part.
-  while (true) {
-    while (i < j && !SatisfiesBound(bound, store.head[i])) ++i;
-    while (i < j && SatisfiesBound(bound, store.head[j - 1])) --j;
-    if (i + 1 >= j) break;
-    store.SwapEntries(i, j - 1);
-    ++i;
-    --j;
-  }
-  return i;
+  assert(begin <= end && end <= store.size());
+  // Dispatched kernel (src/kernels/): the scalar arm is the historical
+  // Hoare-style partition, SIMD arms are branch-free out-of-place passes
+  // with the same split position and per-side contents.
+  return begin + kernels::CrackInTwoPairs(store.head.data() + begin,
+                                          store.tail.data() + begin,
+                                          end - begin, bound);
 }
 
 std::pair<size_t, size_t> CrackInThree(CrackPairs& store, size_t begin,
                                        size_t end, const Bound& lo,
                                        const Bound& hi) {
   assert(!store.head_dropped);
-  // Dutch-national-flag partition (the paper's crack-in-three from [7]):
-  // [begin, lo_end) below, [lo_end, mid) middle, [hi_begin, end) above.
-  size_t lo_end = begin;
-  size_t mid = begin;
-  size_t hi_begin = end;
-  while (mid < hi_begin) {
-    const Value v = store.head[mid];
-    if (!SatisfiesBound(lo, v)) {
-      store.SwapEntries(lo_end, mid);
-      ++lo_end;
-      ++mid;
-    } else if (SatisfiesBound(hi, v)) {
-      --hi_begin;
-      store.SwapEntries(mid, hi_begin);
-    } else {
-      ++mid;
-    }
-  }
-  return {lo_end, hi_begin};
+  assert(begin <= end && end <= store.size());
+  // Dispatched kernel; the scalar arm is the Dutch-national-flag partition
+  // (the paper's crack-in-three from [7]).
+  size_t mid_begin = 0;
+  size_t hi_begin = 0;
+  kernels::CrackInThreePairs(store.head.data() + begin,
+                             store.tail.data() + begin, end - begin, lo, hi,
+                             &mid_begin, &hi_begin);
+  return {begin + mid_begin, begin + hi_begin};
 }
 
 namespace {
@@ -166,8 +152,9 @@ PositionRange SortPiece(CrackPairs& store, CrackerIndex& index,
     new_head[i] = store.head[piece.begin + perm[i]];
     new_tail[i] = store.tail[piece.begin + perm[i]];
   }
-  std::copy(new_head.begin(), new_head.end(), store.head.begin() + piece.begin);
-  std::copy(new_tail.begin(), new_tail.end(), store.tail.begin() + piece.begin);
+  const auto dst = static_cast<std::ptrdiff_t>(piece.begin);
+  std::copy(new_head.begin(), new_head.end(), store.head.begin() + dst);
+  std::copy(new_tail.begin(), new_tail.end(), store.tail.begin() + dst);
   return {piece.begin, piece.end};
 }
 

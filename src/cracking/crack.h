@@ -83,8 +83,12 @@ struct CrackResult {
 
 /// Two-way partition of positions [begin, end): entries NOT satisfying
 /// `bound` first, satisfying entries last. Returns the first position of
-/// the satisfying part. Deterministic for a given input (the alignment
-/// guarantee of Section 3.2 rests on this).
+/// the satisfying part. Runs through the dispatched kernel arm
+/// (src/kernels/); every arm is deterministic for a given input and the
+/// arm is fixed per process, so the alignment guarantee of Section 3.2
+/// (tape replay reproducing layouts) holds within a process. Forcing
+/// CRACKDB_KERNEL_ISA=scalar reproduces the historical Hoare-partition
+/// layouts exactly.
 size_t CrackInTwo(CrackPairs& store, size_t begin, size_t end,
                   const Bound& bound);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "engine/query.h"
+#include "kernels/kernels.h"
 
 namespace crackdb {
 
@@ -39,10 +40,9 @@ class PlainHandle : public SelectionHandle {
       const Column& column = relation_->column(consume.attr);
       ConsumeOutcome out;
       out.count = keys_.size();
-      FoldIndexed(
-          consume.op, keys_.size(),
-          [this, &column](size_t i) { return column[keys_[i]]; },
-          &out.aggregate, &out.aggregate_valid);
+      kernels::FoldGather(ToFoldOp(consume.op), column.values().data(),
+                          keys_.data(), keys_.size(), &out.aggregate,
+                          &out.aggregate_valid);
       return out;
     }
     return SelectionHandle::Consume(consume, projections);
@@ -71,11 +71,10 @@ std::unique_ptr<SelectionHandle> PlainEngine::Select(const QuerySpec& spec) {
     for (size_t s = 1; s < spec.selections.size(); ++s) {
       const Column& column = relation_->column(spec.selections[s].attr);
       const RangePredicate& pred = spec.selections[s].pred;
+      // Kernel gather + test: refines the ascending key list in place.
       std::vector<Key> refined;
-      refined.reserve(keys.size());
-      for (Key k : keys) {
-        if (pred.Matches(column[k])) refined.push_back(k);
-      }
+      kernels::FilterKeys(column.values().data(), keys.data(), keys.size(),
+                          pred, &refined);
       keys = std::move(refined);
     }
   } else {

@@ -10,6 +10,7 @@
 
 #include "common/types.h"
 #include "engine/engine.h"
+#include "kernels/kernels.h"
 
 namespace crackdb {
 
@@ -85,9 +86,24 @@ struct ConsumeOutcome {
   bool aggregate_valid = false;
 };
 
+/// Kernel-layer fold op for an AggregateOp. The enums mirror each other;
+/// the kernel layer redeclares its own so it stays a leaf below engine/.
+inline kernels::FoldOp ToFoldOp(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kSum:
+      return kernels::FoldOp::kSum;
+    case AggregateOp::kMin:
+      return kernels::FoldOp::kMin;
+    case AggregateOp::kMax:
+      return kernels::FoldOp::kMax;
+  }
+  return kernels::FoldOp::kSum;
+}
+
 /// Folds one value into a running aggregate. Used for scalar-to-scalar
-/// combination (the sharded merge); bulk folds go through FoldIndexed,
-/// which hoists the op dispatch out of the loop so the fold vectorizes.
+/// combination (the sharded merge); bulk folds go through the dispatched
+/// kernels (contiguous spans and gathers) or FoldIndexed (strided access),
+/// which hoist the op dispatch out of the loop so the fold vectorizes.
 inline void FoldValue(AggregateOp op, Value v, Value* acc, bool* valid) {
   if (!*valid) {
     *acc = v;
@@ -96,7 +112,10 @@ inline void FoldValue(AggregateOp op, Value v, Value* acc, bool* valid) {
   }
   switch (op) {
     case AggregateOp::kSum:
-      *acc += v;
+      // Unsigned add: sums wrap modulo 2^64 (same contract as the kernel
+      // arms) instead of overflowing signed.
+      *acc = static_cast<Value>(static_cast<uint64_t>(*acc) +
+                                static_cast<uint64_t>(v));
       break;
     case AggregateOp::kMin:
       *acc = std::min(*acc, v);
@@ -118,9 +137,12 @@ void FoldIndexed(AggregateOp op, size_t n, GetFn get, Value* acc,
   if (n == 0) return;
   Value result = get(0);
   switch (op) {
-    case AggregateOp::kSum:
-      for (size_t i = 1; i < n; ++i) result += get(i);
+    case AggregateOp::kSum: {
+      uint64_t sum = static_cast<uint64_t>(result);
+      for (size_t i = 1; i < n; ++i) sum += static_cast<uint64_t>(get(i));
+      result = static_cast<Value>(sum);
       break;
+    }
     case AggregateOp::kMin:
       for (size_t i = 1; i < n; ++i) result = std::min(result, get(i));
       break;
@@ -131,12 +153,10 @@ void FoldIndexed(AggregateOp op, size_t n, GetFn get, Value* acc,
   FoldValue(op, result, acc, valid);
 }
 
-/// FoldIndexed over a contiguous view.
+/// Contiguous-view fold through the dispatched kernel arm.
 inline void FoldSpan(AggregateOp op, std::span<const Value> values,
                      Value* acc, bool* valid) {
-  FoldIndexed(
-      op, values.size(), [values](size_t i) { return values[i]; }, acc,
-      valid);
+  kernels::FoldSpan(ToFoldOp(op), values.data(), values.size(), acc, valid);
 }
 
 /// The tagged result of executing a query with a consumption mode.

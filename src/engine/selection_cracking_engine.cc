@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "engine/query.h"
+#include "kernels/kernels.h"
 
 namespace crackdb {
 
@@ -20,9 +21,9 @@ class CrackedKeysHandle : public SelectionHandle {
     // into the base column — no spatial or temporal locality (the paper's
     // Exp1 explanation).
     const Column& column = relation_->column(attr);
-    std::vector<Value> out;
-    out.reserve(keys_.size());
-    for (Key k : keys_) out.push_back(column[k]);
+    std::vector<Value> out(keys_.size());
+    kernels::Gather(column.values().data(), keys_.data(), keys_.size(),
+                    out.data());
     return out;
   }
 
@@ -44,10 +45,9 @@ class CrackedKeysHandle : public SelectionHandle {
       const Column& column = relation_->column(consume.attr);
       ConsumeOutcome out;
       out.count = keys_.size();
-      FoldIndexed(
-          consume.op, keys_.size(),
-          [this, &column](size_t i) { return column[keys_[i]]; },
-          &out.aggregate, &out.aggregate_valid);
+      kernels::FoldGather(ToFoldOp(consume.op), column.values().data(),
+                          keys_.data(), keys_.size(), &out.aggregate,
+                          &out.aggregate_valid);
       return out;
     }
     return SelectionHandle::Consume(consume, projections);
@@ -98,10 +98,8 @@ std::unique_ptr<SelectionHandle> SelectionCrackingEngine::Select(
       const Column& column = relation_->column(spec.selections[s].attr);
       const RangePredicate& pred = spec.selections[s].pred;
       std::vector<Key> refined;
-      refined.reserve(keys.size());
-      for (Key k : keys) {
-        if (pred.Matches(column[k])) refined.push_back(k);
-      }
+      kernels::FilterKeys(column.values().data(), keys.data(), keys.size(),
+                          pred, &refined);
       keys = std::move(refined);
     }
   } else {

@@ -1,0 +1,107 @@
+#include "kernels/cpu_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace crackdb::kernels {
+
+namespace {
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CRACKDB_X86_DISPATCH 1
+#endif
+
+Isa Detect() {
+#ifdef CRACKDB_X86_DISPATCH
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Isa::kSse2;
+#endif
+  return Isa::kScalar;
+}
+
+/// The installed arm. -1 = not yet resolved; resolution happens once, at
+/// the first ActiveIsa() call, so every kernel table lookup after startup
+/// is one relaxed atomic load.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+bool ParseIsa(const char* name, Isa* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = Isa::kScalar;
+  } else if (std::strcmp(name, "sse2") == 0) {
+    *out = Isa::kSse2;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = Isa::kAvx2;
+  } else if (std::strcmp(name, "auto") == 0) {
+    *out = DetectedIsa();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Isa DetectedIsa() {
+  static const Isa detected = Detect();
+  return detected;
+}
+
+Isa ResolveIsa(const char* env, Isa detected) {
+  if (env == nullptr || env[0] == '\0') return detected;
+  Isa requested;
+  if (!ParseIsa(env, &requested)) {
+    std::fprintf(stderr,
+                 "crackdb kernels: unknown CRACKDB_KERNEL_ISA '%s' "
+                 "(want scalar|sse2|avx2|auto); using %s\n",
+                 env, IsaName(detected));
+    return detected;
+  }
+  if (static_cast<int>(requested) > static_cast<int>(detected)) {
+    std::fprintf(stderr,
+                 "crackdb kernels: CRACKDB_KERNEL_ISA=%s unsupported by "
+                 "this CPU; clamping to %s\n",
+                 env, IsaName(detected));
+    return detected;
+  }
+  return requested;
+}
+
+Isa ActiveIsa() {
+  int active = g_active.load(std::memory_order_relaxed);
+  if (active < 0) {
+    const Isa resolved =
+        ResolveIsa(std::getenv("CRACKDB_KERNEL_ISA"), DetectedIsa());
+    // Racing first calls resolve to the same value (env + cpuid are
+    // stable), so a plain store is fine either way.
+    g_active.store(static_cast<int>(resolved), std::memory_order_relaxed);
+    return resolved;
+  }
+  return static_cast<Isa>(active);
+}
+
+Isa ForceIsa(Isa isa) {
+  Isa installed = isa;
+  if (static_cast<int>(installed) > static_cast<int>(DetectedIsa())) {
+    installed = DetectedIsa();
+  }
+  g_active.store(static_cast<int>(installed), std::memory_order_relaxed);
+  return installed;
+}
+
+}  // namespace crackdb::kernels

@@ -1,0 +1,66 @@
+#ifndef CRACKDB_KERNELS_CPU_DISPATCH_H_
+#define CRACKDB_KERNELS_CPU_DISPATCH_H_
+
+/// Runtime CPU dispatch for the hot-path kernels (docs/KERNELS.md).
+///
+/// One binary carries every implementation arm; the widest ISA the CPU
+/// supports is picked once, at first kernel use, and every call site then
+/// goes through the resolved kernel table (kernels.h). The resolution
+/// order is:
+///
+///   1. detect the widest supported arm (cpuid via
+///      __builtin_cpu_supports; non-x86 builds detect kScalar),
+///   2. apply the CRACKDB_KERNEL_ISA environment override
+///      ("scalar" | "sse2" | "avx2" | "auto", read once),
+///   3. clamp the override to what the CPU supports — asking for avx2 on
+///      an sse2-only machine degrades (with a stderr note), never crashes.
+///
+/// The scalar arm is always available and is the behavioral reference the
+/// SIMD arms are property-tested against ("the scalar reference is the
+/// spec", docs/KERNELS.md).
+
+namespace crackdb::kernels {
+
+/// Implementation arms, narrowest first. Ordering is meaningful: a CPU
+/// that supports arm X supports every arm below it, so "clamp" means
+/// std::min. kSse2 is the branch-free portable arm (baseline x86-64 already
+/// guarantees SSE2, so it is written as auto-vectorizable straight-line
+/// code rather than intrinsics); kAvx2 uses AVX2 intrinsics behind a
+/// function-level target attribute.
+enum class Isa : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable arm name ("scalar", "sse2", "avx2").
+const char* IsaName(Isa isa);
+
+/// Parses an arm name (or "auto"); returns false on unknown spellings.
+/// "auto" yields the detected ISA.
+bool ParseIsa(const char* name, Isa* out);
+
+/// Widest arm this CPU can execute. Pure detection: no env override.
+Isa DetectedIsa();
+
+/// Pure resolution rule (unit-testable): the arm a process with detected
+/// arm `detected` and CRACKDB_KERNEL_ISA value `env` (nullptr/"" = unset)
+/// ends up on. Unknown spellings and arms wider than `detected` clamp to
+/// `detected` — a bad override must never disable dispatch entirely.
+Isa ResolveIsa(const char* env, Isa detected);
+
+/// The arm the kernel table currently dispatches to. Resolved once at
+/// first use from DetectedIsa() + CRACKDB_KERNEL_ISA; ForceIsa re-points
+/// it afterwards.
+Isa ActiveIsa();
+
+/// Re-points dispatch at `isa` (clamped to DetectedIsa()), returning the
+/// arm actually installed. Test/bench hook for in-process A/B arms — call
+/// it only at quiescent points (no concurrent kernel calls): the swap is
+/// atomic, but half a query on one arm and half on another voids the
+/// layout-determinism contract of the crack kernels (docs/KERNELS.md).
+Isa ForceIsa(Isa isa);
+
+}  // namespace crackdb::kernels
+
+#endif  // CRACKDB_KERNELS_CPU_DISPATCH_H_

@@ -1,0 +1,50 @@
+#ifndef CRACKDB_KERNELS_KERNEL_ARMS_H_
+#define CRACKDB_KERNELS_KERNEL_ARMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "kernels/kernels.h"
+
+/// Internal: the per-arm kernel entry points the dispatch tables
+/// (kernels.cc) are built from. Each arm implements the identical
+/// contract documented on KernelTable; the scalar arm is the reference.
+namespace crackdb::kernels::detail {
+
+#define CRACKDB_DECLARE_ARM(arm)                                            \
+  size_t CrackInTwo_##arm(Value* head, Value* tail, size_t n, Bound bound); \
+  void CrackInThree_##arm(Value* head, Value* tail, size_t n, Bound lo,     \
+                          Bound hi, size_t* mid_begin, size_t* hi_begin);   \
+  size_t CountRange_##arm(const Value* values, size_t n,                    \
+                          const RangePredicate& pred);                      \
+  void SelectRange_##arm(const Value* values, size_t n,                     \
+                         const RangePredicate& pred, Key base,              \
+                         std::vector<Key>* out);                            \
+  void FilterKeys_##arm(const Value* values, const Key* keys, size_t n,     \
+                        const RangePredicate& pred, std::vector<Key>* out); \
+  void MatchBitmap_##arm(const Value* values, size_t begin, size_t end,     \
+                         const RangePredicate& pred, uint64_t* words,       \
+                         BitmapMode mode);                                  \
+  void FoldSpan_##arm(FoldOp op, const Value* values, size_t n, Value* acc, \
+                      bool* valid);                                         \
+  void FoldGather_##arm(FoldOp op, const Value* values, const Key* keys,    \
+                        size_t n, Value* acc, bool* valid);                 \
+  void Gather_##arm(const Value* values, const Key* keys, size_t n,         \
+                    Value* out)
+
+CRACKDB_DECLARE_ARM(Scalar);
+CRACKDB_DECLARE_ARM(Sse2);
+
+/// True when this build carries the AVX2 intrinsic arm (x86 + a compiler
+/// with function-level target support). When false, Table(kAvx2) aliases
+/// the portable arm.
+bool HasAvx2Arm();
+CRACKDB_DECLARE_ARM(Avx2);
+
+#undef CRACKDB_DECLARE_ARM
+
+}  // namespace crackdb::kernels::detail
+
+#endif  // CRACKDB_KERNELS_KERNEL_ARMS_H_

@@ -1,0 +1,85 @@
+#ifndef CRACKDB_KERNELS_KERNEL_IMPL_H_
+#define CRACKDB_KERNELS_KERNEL_IMPL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+/// Internal helpers shared by the implementation arms (kernels_*.cc).
+/// Not part of the public kernel API.
+namespace crackdb::kernels::detail {
+
+/// A Bound normalized to "v satisfies iff v >= threshold". `none` marks
+/// the one unrepresentable case (value == kMaxValue, exclusive): nothing
+/// satisfies, threshold is meaningless.
+struct UpperThreshold {
+  Value threshold = 0;
+  bool none = false;
+};
+
+inline UpperThreshold ThresholdOf(const Bound& b) {
+  if (!b.inclusive && b.value == kMaxValue) return {0, true};
+  return {b.inclusive ? b.value : b.value + 1, false};
+}
+
+/// A RangePredicate normalized to the closed interval [lo, hi] (`empty`
+/// when no value can match). Branch-free arms test `lo <= v && v <= hi`;
+/// identical to RangePredicate::Matches for every input.
+struct ClosedRange {
+  Value lo = kMinValue;
+  Value hi = kMaxValue;
+  bool empty = false;
+};
+
+inline ClosedRange NormalizeRange(const RangePredicate& p) {
+  ClosedRange r{p.low, p.high, false};
+  if (!p.low_inclusive) {
+    if (r.lo == kMaxValue) {
+      r.empty = true;
+      return r;
+    }
+    ++r.lo;
+  }
+  if (!p.high_inclusive) {
+    if (r.hi == kMinValue) {
+      r.empty = true;
+      return r;
+    }
+    --r.hi;
+  }
+  if (r.lo > r.hi) r.empty = true;
+  return r;
+}
+
+/// Per-thread scratch for the out-of-place crack arms. Cracks run under
+/// partition locks but different threads crack different partitions
+/// concurrently, so the scratch is thread-local; it grows to the largest
+/// piece a thread has cracked and is reused across cracks.
+struct CrackScratch {
+  std::vector<Value> mid_head, mid_tail;
+  std::vector<Value> up_head, up_tail;
+
+  void EnsureUpper(size_t n) {
+    if (up_head.size() < n) {
+      up_head.resize(n);
+      up_tail.resize(n);
+    }
+  }
+  void EnsureMiddle(size_t n) {
+    if (mid_head.size() < n) {
+      mid_head.resize(n);
+      mid_tail.resize(n);
+    }
+  }
+};
+
+inline CrackScratch& TlsCrackScratch() {
+  thread_local CrackScratch scratch;
+  return scratch;
+}
+
+}  // namespace crackdb::kernels::detail
+
+#endif  // CRACKDB_KERNELS_KERNEL_IMPL_H_

@@ -1,0 +1,46 @@
+#include "kernels/kernels.h"
+
+#include "kernels/kernel_arms.h"
+
+namespace crackdb::kernels {
+
+namespace {
+
+#define CRACKDB_ARM_TABLE(arm)                                           \
+  {                                                                      \
+    detail::CrackInTwo_##arm, detail::CrackInThree_##arm,                \
+        detail::CountRange_##arm, detail::SelectRange_##arm,             \
+        detail::FilterKeys_##arm, detail::MatchBitmap_##arm,             \
+        detail::FoldSpan_##arm, detail::FoldGather_##arm,                \
+        detail::Gather_##arm                                             \
+  }
+
+constexpr KernelTable kScalarTable = CRACKDB_ARM_TABLE(Scalar);
+constexpr KernelTable kSse2Table = CRACKDB_ARM_TABLE(Sse2);
+constexpr KernelTable kAvx2Table = CRACKDB_ARM_TABLE(Avx2);
+
+#undef CRACKDB_ARM_TABLE
+
+}  // namespace
+
+const KernelTable& Table(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return kScalarTable;
+    case Isa::kSse2:
+      return kSse2Table;
+    case Isa::kAvx2:
+      // Alias the widest executable arm: the AVX2 table is only safe to
+      // call when the build carries the intrinsic arm AND the CPU
+      // reports AVX2.
+      if (detail::HasAvx2Arm() && DetectedIsa() >= Isa::kAvx2) {
+        return kAvx2Table;
+      }
+      return kSse2Table;
+  }
+  return kScalarTable;
+}
+
+const KernelTable& Active() { return Table(ActiveIsa()); }
+
+}  // namespace crackdb::kernels

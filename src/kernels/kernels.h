@@ -1,0 +1,171 @@
+#ifndef CRACKDB_KERNELS_KERNELS_H_
+#define CRACKDB_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "kernels/cpu_dispatch.h"
+
+/// Branch-free data-parallel kernels for the four hot-path families of the
+/// engine layer (docs/KERNELS.md is the full contract):
+///
+///   1. crack partitioning  — crack-in-two / crack-in-three over a
+///      (head, tail) pair store,
+///   2. predicate evaluation — range count / position-list select /
+///      key-list refine / bitmap build over a base column,
+///   3. folds               — sum/min/max over contiguous spans and over
+///      positional gathers,
+///   4. gather              — positional fetch for tuple reconstruction.
+///
+/// Every kernel has a scalar reference implementation ("the spec") plus
+/// branch-free portable (kSse2) and AVX2-intrinsic (kAvx2) arms; the arm
+/// is picked once at startup by the dispatch layer (cpu_dispatch.h) and
+/// all call sites go through the resolved table. SIMD arms are
+/// property-tested against the scalar arm (tests/kernel_test.cc):
+/// bit-identical results for families 2-4, and for the crack family an
+/// identical split position + identical per-side (head, tail) multisets —
+/// intra-piece order is arm-specific but deterministic, which preserves
+/// the paper's tape-replay alignment guarantee within a process.
+///
+/// Layering: this directory depends only on common/; engines, cracking
+/// structures, and storage call down into it, never the reverse.
+namespace crackdb::kernels {
+
+/// Fold operator. Mirrors engine/query.h's AggregateOp, redeclared here so
+/// the kernel layer stays a leaf (query.h maps between the two). Sums wrap
+/// modulo 2^64 (accumulated as uint64_t, so overflow is defined and
+/// arm-identical); min/max are exact.
+enum class FoldOp { kSum, kMin, kMax };
+
+/// How a match bitmap combines with the destination words: overwrite
+/// (select_create_bv), intersect (select_refine_bv), or union (the
+/// disjunctive widen step). Bits outside [begin, end) are never touched.
+enum class BitmapMode { kAssign, kAnd, kOr };
+
+/// One implementation arm: per-kernel function pointers. The dispatch
+/// layer resolves which table Active() returns once at startup; benches
+/// and property tests address specific arms via Table(isa).
+///
+/// Contracts common to every arm:
+///  - `n` elements starting at the given pointers; no alignment
+///    requirement (arms handle misaligned heads/tails internally).
+///  - Gather-style kernels (gather, fold_gather, filter_keys) require
+///    positions < 2^31: AVX2 gathers consume signed 32-bit indices. Key
+///    is the tuple position of a row in one relation, far below that.
+///  - Appending kernels (select_range, filter_keys) only ever append to
+///    `out`; existing contents are preserved.
+struct KernelTable {
+  /// Partitions the pair store [0, n) in place: entries NOT on the upper
+  /// side of `bound` (v < threshold) first, upper entries last; head and
+  /// tail permute together. Returns the first upper position.
+  size_t (*crack_in_two)(Value* head, Value* tail, size_t n, Bound bound);
+
+  /// Three-way partition of [0, n): below `lo` / satisfying `lo` but not
+  /// `hi` / satisfying `hi`. Requires cut(lo) <= cut(hi) (the caller's
+  /// CrackOnPredicate guarantees it). Writes the start of the middle and
+  /// upper parts.
+  void (*crack_in_three)(Value* head, Value* tail, size_t n, Bound lo,
+                         Bound hi, size_t* mid_begin, size_t* hi_begin);
+
+  /// Number of values in [0, n) matching `pred`.
+  size_t (*count_range)(const Value* values, size_t n,
+                        const RangePredicate& pred);
+
+  /// Appends `base + i` for every i with pred.Matches(values[i]), in
+  /// ascending i order (order-preserving select over a base column).
+  void (*select_range)(const Value* values, size_t n,
+                       const RangePredicate& pred, Key base,
+                       std::vector<Key>* out);
+
+  /// Appends every keys[i] with pred.Matches(values[keys[i]]), preserving
+  /// key-list order (the conjunction-refinement step: gather + test).
+  void (*filter_keys)(const Value* values, const Key* keys, size_t n,
+                      const RangePredicate& pred, std::vector<Key>* out);
+
+  /// Evaluates `pred` over values[i] for i in [begin, end) and combines
+  /// the match bit into bit i of `words` per `mode`. Bit i lives at
+  /// words[i >> 6] bit (i & 63); bits outside [begin, end) are untouched.
+  void (*match_bitmap)(const Value* values, size_t begin, size_t end,
+                       const RangePredicate& pred, uint64_t* words,
+                       BitmapMode mode);
+
+  /// Folds values[0..n) into (*acc, *valid) with FoldValue semantics:
+  /// a fold over zero values leaves both untouched.
+  void (*fold_span)(FoldOp op, const Value* values, size_t n, Value* acc,
+                    bool* valid);
+
+  /// Folds values[keys[0..n)] into (*acc, *valid).
+  void (*fold_gather)(FoldOp op, const Value* values, const Key* keys,
+                      size_t n, Value* acc, bool* valid);
+
+  /// out[i] = values[keys[i]] for i in [0, n). `out` must hold n values
+  /// and must not alias `values`.
+  void (*gather)(const Value* values, const Key* keys, size_t n, Value* out);
+};
+
+/// The named arm's table. Always valid: on CPUs (or builds) without an
+/// arm's ISA, the entry aliases the widest arm that *is* executable, so
+/// addressing Table(kAvx2) on an SSE2-only machine is safe.
+const KernelTable& Table(Isa isa);
+
+/// The table every library call site dispatches through: Table(ActiveIsa()).
+const KernelTable& Active();
+
+// ---------------------------------------------------------------------------
+// Call-site wrappers: one-liners through the resolved table, so the hot
+// paths read as kernel invocations rather than table plumbing.
+// ---------------------------------------------------------------------------
+
+inline size_t CrackInTwoPairs(Value* head, Value* tail, size_t n,
+                              const Bound& bound) {
+  return Active().crack_in_two(head, tail, n, bound);
+}
+
+inline void CrackInThreePairs(Value* head, Value* tail, size_t n,
+                              const Bound& lo, const Bound& hi,
+                              size_t* mid_begin, size_t* hi_begin) {
+  Active().crack_in_three(head, tail, n, lo, hi, mid_begin, hi_begin);
+}
+
+inline size_t CountRange(const Value* values, size_t n,
+                         const RangePredicate& pred) {
+  return Active().count_range(values, n, pred);
+}
+
+inline void SelectRange(const Value* values, size_t n,
+                        const RangePredicate& pred, Key base,
+                        std::vector<Key>* out) {
+  Active().select_range(values, n, pred, base, out);
+}
+
+inline void FilterKeys(const Value* values, const Key* keys, size_t n,
+                       const RangePredicate& pred, std::vector<Key>* out) {
+  Active().filter_keys(values, keys, n, pred, out);
+}
+
+inline void MatchBitmap(const Value* values, size_t begin, size_t end,
+                        const RangePredicate& pred, uint64_t* words,
+                        BitmapMode mode) {
+  Active().match_bitmap(values, begin, end, pred, words, mode);
+}
+
+inline void FoldSpan(FoldOp op, const Value* values, size_t n, Value* acc,
+                     bool* valid) {
+  Active().fold_span(op, values, n, acc, valid);
+}
+
+inline void FoldGather(FoldOp op, const Value* values, const Key* keys,
+                       size_t n, Value* acc, bool* valid) {
+  Active().fold_gather(op, values, keys, n, acc, valid);
+}
+
+inline void Gather(const Value* values, const Key* keys, size_t n,
+                   Value* out) {
+  Active().gather(values, keys, n, out);
+}
+
+}  // namespace crackdb::kernels
+
+#endif  // CRACKDB_KERNELS_KERNELS_H_

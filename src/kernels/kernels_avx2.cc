@@ -1,0 +1,560 @@
+// The AVX2 intrinsic arm. Compiled with function-level
+// __attribute__((target("avx2"))) so the rest of the library keeps the
+// baseline ISA and no -mavx2 build flag is needed; the dispatch layer
+// guarantees these entry points only run on CPUs reporting AVX2.
+//
+// Techniques:
+//  - 4x64-bit range tests via _mm256_cmpgt_epi64 (v >= t  <=>  v > t-1,
+//    with the t == kMinValue wraparound special-cased),
+//  - compress-store emulation (AVX2 has no vpcompress): a 16-entry
+//    dword-index table drives _mm256_permutevar8x32_epi32 for 64-bit
+//    lanes, and a 16-entry byte-shuffle table drives _mm_shuffle_epi8
+//    for 32-bit keys,
+//  - positional loads via _mm256_i32gather_epi64 (hence the documented
+//    positions < 2^31 contract),
+//  - 64-bit min/max via compare + _mm256_blendv_epi8 (AVX2 has no
+//    _mm256_min_epi64).
+//
+// On non-x86 targets (or compilers without the target attribute) every
+// entry point forwards to the portable arm and HasAvx2Arm() is false.
+
+#include "kernels/kernel_arms.h"
+#include "kernels/kernel_impl.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CRACKDB_AVX2_ARM 1
+#endif
+
+#ifdef CRACKDB_AVX2_ARM
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#define CRACKDB_AVX2 __attribute__((target("avx2")))
+
+namespace crackdb::kernels::detail {
+
+bool HasAvx2Arm() { return true; }
+
+namespace {
+
+// Compress tables for the 4-bit lane masks movemask_pd produces. Row m
+// lists, in lane order, the source positions of the lanes whose mask bit
+// is set; the rest is padding (stores write a full vector, but only the
+// first popcount(m) lanes are live and the padding is overwritten by the
+// next compress store at the advanced cursor).
+
+// 64-bit lanes as dword-index pairs for _mm256_permutevar8x32_epi32.
+alignas(32) constexpr int32_t kCompress64[16][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0}, {0, 1, 0, 0, 0, 0, 0, 0},
+    {2, 3, 0, 0, 0, 0, 0, 0}, {0, 1, 2, 3, 0, 0, 0, 0},
+    {4, 5, 0, 0, 0, 0, 0, 0}, {0, 1, 4, 5, 0, 0, 0, 0},
+    {2, 3, 4, 5, 0, 0, 0, 0}, {0, 1, 2, 3, 4, 5, 0, 0},
+    {6, 7, 0, 0, 0, 0, 0, 0}, {0, 1, 6, 7, 0, 0, 0, 0},
+    {2, 3, 6, 7, 0, 0, 0, 0}, {0, 1, 2, 3, 6, 7, 0, 0},
+    {4, 5, 6, 7, 0, 0, 0, 0}, {0, 1, 4, 5, 6, 7, 0, 0},
+    {2, 3, 4, 5, 6, 7, 0, 0}, {0, 1, 2, 3, 4, 5, 6, 7},
+};
+
+// 32-bit keys as byte shuffles for _mm_shuffle_epi8 (-1 = zero the byte).
+alignas(16) constexpr int8_t kCompress32[16][16] = {
+    {-1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+    {0, 1, 2, 3, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+    {4, 5, 6, 7, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+    {0, 1, 2, 3, 4, 5, 6, 7, -1, -1, -1, -1, -1, -1, -1, -1},
+    {8, 9, 10, 11, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+    {0, 1, 2, 3, 8, 9, 10, 11, -1, -1, -1, -1, -1, -1, -1, -1},
+    {4, 5, 6, 7, 8, 9, 10, 11, -1, -1, -1, -1, -1, -1, -1, -1},
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, -1, -1, -1, -1},
+    {12, 13, 14, 15, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1},
+    {0, 1, 2, 3, 12, 13, 14, 15, -1, -1, -1, -1, -1, -1, -1, -1},
+    {4, 5, 6, 7, 12, 13, 14, 15, -1, -1, -1, -1, -1, -1, -1, -1},
+    {0, 1, 2, 3, 4, 5, 6, 7, 12, 13, 14, 15, -1, -1, -1, -1},
+    {8, 9, 10, 11, 12, 13, 14, 15, -1, -1, -1, -1, -1, -1, -1, -1},
+    {0, 1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 15, -1, -1, -1, -1},
+    {4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, -1, -1, -1, -1},
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+};
+
+inline long long MinusOneWrapping(Value v) {
+  return static_cast<long long>(static_cast<uint64_t>(v) - 1);
+}
+
+/// 4-bit mask (bit j = lane j) from a 4x64-bit all-ones/all-zeros vector.
+CRACKDB_AVX2 inline int MoveMask4(__m256i m) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(m));
+}
+
+/// Splatted constants for the closed-range test lo <= v <= hi.
+struct RangeVec {
+  __m256i lo_m1;   // lo - 1 (wrapping; dead when lo_all is set)
+  __m256i lo_all;  // all-ones when lo == kMinValue (v >= lo trivially true)
+  __m256i hi;
+};
+
+CRACKDB_AVX2 inline RangeVec MakeRangeVec(const ClosedRange& r) {
+  RangeVec rv;
+  rv.lo_m1 = _mm256_set1_epi64x(MinusOneWrapping(r.lo));
+  rv.lo_all = _mm256_set1_epi64x(r.lo == kMinValue ? -1 : 0);
+  rv.hi = _mm256_set1_epi64x(static_cast<long long>(r.hi));
+  return rv;
+}
+
+CRACKDB_AVX2 inline __m256i RangeMatch(__m256i v, const RangeVec& rv) {
+  const __m256i ge =
+      _mm256_or_si256(_mm256_cmpgt_epi64(v, rv.lo_m1), rv.lo_all);
+  const __m256i gt = _mm256_cmpgt_epi64(v, rv.hi);
+  return _mm256_andnot_si256(gt, ge);
+}
+
+CRACKDB_AVX2 inline __m256i LoadValues(const Value* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+CRACKDB_AVX2 inline void StoreValues(Value* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+CRACKDB_AVX2 inline __m256i CompressLanes(__m256i v, int mask4) {
+  const __m256i idx = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(kCompress64[mask4]));
+  return _mm256_permutevar8x32_epi32(v, idx);
+}
+
+CRACKDB_AVX2 inline __m128i CompressKeys(__m128i keys, int mask4) {
+  const __m128i shuf =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kCompress32[mask4]));
+  return _mm_shuffle_epi8(keys, shuf);
+}
+
+CRACKDB_AVX2 inline __m256i GatherValues(const Value* values, __m128i keys) {
+  return _mm256_i32gather_epi64(reinterpret_cast<const long long*>(values),
+                                keys, 8);
+}
+
+CRACKDB_AVX2 inline uint64_t HSumLanes(__m256i v) {
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return static_cast<uint64_t>(lanes[0]) + static_cast<uint64_t>(lanes[1]) +
+         static_cast<uint64_t>(lanes[2]) + static_cast<uint64_t>(lanes[3]);
+}
+
+}  // namespace
+
+CRACKDB_AVX2 size_t CrackInTwo_Avx2(Value* head, Value* tail, size_t n,
+                                    Bound bound) {
+  const UpperThreshold th = ThresholdOf(bound);
+  if (th.none) return n;
+  const Value t = th.threshold;
+  // Every value satisfies v >= kMinValue: the whole piece is the upper
+  // part and no element moves (matching the scalar arm).
+  if (t == kMinValue) return 0;
+  CrackScratch& s = TlsCrackScratch();
+  s.EnsureUpper(n);
+  Value* uh = s.up_head.data();
+  Value* ut = s.up_tail.data();
+  const __m256i t_m1 = _mm256_set1_epi64x(MinusOneWrapping(t));
+  size_t lo = 0;
+  size_t up = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vh = LoadValues(head + i);
+    const __m256i vt = LoadValues(tail + i);
+    const int up_mask = MoveMask4(_mm256_cmpgt_epi64(vh, t_m1));
+    const int lo_mask = ~up_mask & 0xF;
+    // Compress stores write a full vector; only the first popcount lanes
+    // are live. In place is safe: lo <= i, so the store never reaches
+    // past head[i + 3], all of which is already loaded.
+    StoreValues(head + lo, CompressLanes(vh, lo_mask));
+    StoreValues(tail + lo, CompressLanes(vt, lo_mask));
+    StoreValues(uh + up, CompressLanes(vh, up_mask));
+    StoreValues(ut + up, CompressLanes(vt, up_mask));
+    lo += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(lo_mask)));
+    up += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(up_mask)));
+  }
+  for (; i < n; ++i) {
+    const Value v = head[i];
+    const Value w = tail[i];
+    if (v >= t) {
+      uh[up] = v;
+      ut[up] = w;
+      ++up;
+    } else {
+      head[lo] = v;
+      tail[lo] = w;
+      ++lo;
+    }
+  }
+  if (up != 0) {
+    std::memcpy(head + lo, uh, up * sizeof(Value));
+    std::memcpy(tail + lo, ut, up * sizeof(Value));
+  }
+  return lo;
+}
+
+CRACKDB_AVX2 void CrackInThree_Avx2(Value* head, Value* tail, size_t n,
+                                    Bound lo, Bound hi, size_t* mid_begin,
+                                    size_t* hi_begin) {
+  const UpperThreshold th_lo = ThresholdOf(lo);
+  const UpperThreshold th_hi = ThresholdOf(hi);
+  if (th_lo.none) {
+    *mid_begin = n;
+    *hi_begin = n;
+    return;
+  }
+  if (th_hi.none) {
+    *mid_begin = CrackInTwo_Avx2(head, tail, n, lo);
+    *hi_begin = n;
+    return;
+  }
+  if (th_lo.threshold == kMinValue) {
+    // No lower part: a two-way split on the upper bound remains.
+    *mid_begin = 0;
+    *hi_begin = CrackInTwo_Avx2(head, tail, n, hi);
+    return;
+  }
+  const Value t_lo = th_lo.threshold;
+  const Value t_hi = th_hi.threshold;
+  CrackScratch& s = TlsCrackScratch();
+  s.EnsureUpper(n);
+  s.EnsureMiddle(n);
+  Value* mh = s.mid_head.data();
+  Value* mt = s.mid_tail.data();
+  Value* uh = s.up_head.data();
+  Value* ut = s.up_tail.data();
+  const __m256i tlo_m1 = _mm256_set1_epi64x(MinusOneWrapping(t_lo));
+  const __m256i thi_m1 = _mm256_set1_epi64x(MinusOneWrapping(t_hi));
+  size_t nlo = 0;
+  size_t nmid = 0;
+  size_t nup = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vh = LoadValues(head + i);
+    const __m256i vt = LoadValues(tail + i);
+    const int ge_lo = MoveMask4(_mm256_cmpgt_epi64(vh, tlo_m1));
+    const int up_mask = MoveMask4(_mm256_cmpgt_epi64(vh, thi_m1));
+    const int lo_mask = ~ge_lo & 0xF;
+    const int mid_mask = ge_lo & ~up_mask & 0xF;
+    StoreValues(head + nlo, CompressLanes(vh, lo_mask));
+    StoreValues(tail + nlo, CompressLanes(vt, lo_mask));
+    StoreValues(mh + nmid, CompressLanes(vh, mid_mask));
+    StoreValues(mt + nmid, CompressLanes(vt, mid_mask));
+    StoreValues(uh + nup, CompressLanes(vh, up_mask));
+    StoreValues(ut + nup, CompressLanes(vt, up_mask));
+    nlo += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(lo_mask)));
+    nmid += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(mid_mask)));
+    nup += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(up_mask)));
+  }
+  for (; i < n; ++i) {
+    const Value v = head[i];
+    const Value w = tail[i];
+    if (v >= t_hi) {
+      uh[nup] = v;
+      ut[nup] = w;
+      ++nup;
+    } else if (v >= t_lo) {
+      mh[nmid] = v;
+      mt[nmid] = w;
+      ++nmid;
+    } else {
+      head[nlo] = v;
+      tail[nlo] = w;
+      ++nlo;
+    }
+  }
+  if (nmid != 0) {
+    std::memcpy(head + nlo, mh, nmid * sizeof(Value));
+    std::memcpy(tail + nlo, mt, nmid * sizeof(Value));
+  }
+  if (nup != 0) {
+    std::memcpy(head + nlo + nmid, uh, nup * sizeof(Value));
+    std::memcpy(tail + nlo + nmid, ut, nup * sizeof(Value));
+  }
+  *mid_begin = nlo;
+  *hi_begin = nlo + nmid;
+}
+
+CRACKDB_AVX2 size_t CountRange_Avx2(const Value* values, size_t n,
+                                    const RangePredicate& pred) {
+  const ClosedRange r = NormalizeRange(pred);
+  if (r.empty) return 0;
+  const RangeVec rv = MakeRangeVec(r);
+  __m256i cnt = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Matching lanes are all-ones (-1); subtracting adds 1 per match.
+    cnt = _mm256_sub_epi64(cnt, RangeMatch(LoadValues(values + i), rv));
+  }
+  size_t count = static_cast<size_t>(HSumLanes(cnt));
+  for (; i < n; ++i) {
+    const Value v = values[i];
+    count += static_cast<size_t>((v >= r.lo) & (v <= r.hi));
+  }
+  return count;
+}
+
+CRACKDB_AVX2 void SelectRange_Avx2(const Value* values, size_t n,
+                                   const RangePredicate& pred, Key base,
+                                   std::vector<Key>* out) {
+  const ClosedRange r = NormalizeRange(pred);
+  if (r.empty || n == 0) return;
+  const size_t old = out->size();
+  out->resize(old + n);
+  Key* dst = out->data() + old;
+  const RangeVec rv = MakeRangeVec(r);
+  __m128i pos = _mm_add_epi32(_mm_set1_epi32(static_cast<int>(base)),
+                              _mm_setr_epi32(0, 1, 2, 3));
+  const __m128i four = _mm_set1_epi32(4);
+  size_t c = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int m = MoveMask4(RangeMatch(LoadValues(values + i), rv));
+    // Full 16-byte store; c <= i keeps it inside the n keys reserved.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + c),
+                     CompressKeys(pos, m));
+    c += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+    pos = _mm_add_epi32(pos, four);
+  }
+  for (; i < n; ++i) {
+    const Value v = values[i];
+    dst[c] = base + static_cast<Key>(i);
+    c += static_cast<size_t>((v >= r.lo) & (v <= r.hi));
+  }
+  out->resize(old + c);
+}
+
+CRACKDB_AVX2 void FilterKeys_Avx2(const Value* values, const Key* keys,
+                                  size_t n, const RangePredicate& pred,
+                                  std::vector<Key>* out) {
+  const ClosedRange r = NormalizeRange(pred);
+  if (r.empty || n == 0) return;
+  const size_t old = out->size();
+  out->resize(old + n);
+  Key* dst = out->data() + old;
+  const RangeVec rv = MakeRangeVec(r);
+  size_t c = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i kv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+    const int m = MoveMask4(RangeMatch(GatherValues(values, kv), rv));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + c),
+                     CompressKeys(kv, m));
+    c += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+  }
+  for (; i < n; ++i) {
+    const Key k = keys[i];
+    const Value v = values[k];
+    dst[c] = k;
+    c += static_cast<size_t>((v >= r.lo) & (v <= r.hi));
+  }
+  out->resize(old + c);
+}
+
+CRACKDB_AVX2 void MatchBitmap_Avx2(const Value* values, size_t begin,
+                                   size_t end, const RangePredicate& pred,
+                                   uint64_t* words, BitmapMode mode) {
+  if (begin >= end) return;
+  size_t i = begin;
+  // Partial leading word: portable arm (identical bit semantics).
+  if ((i & 63) != 0) {
+    const size_t stop = std::min(end, ((i >> 6) + 1) << 6);
+    MatchBitmap_Sse2(values, i, stop, pred, words, mode);
+    i = stop;
+  }
+  const ClosedRange r = NormalizeRange(pred);
+  const RangeVec rv = MakeRangeVec(r);
+  const __m256i empty_kill =
+      _mm256_set1_epi64x(r.empty ? 0 : -1);
+  for (; i + 64 <= end; i += 64) {
+    uint64_t built = 0;
+    for (size_t k = 0; k < 64; k += 4) {
+      const __m256i match = _mm256_and_si256(
+          RangeMatch(LoadValues(values + i + k), rv), empty_kill);
+      built |= static_cast<uint64_t>(MoveMask4(match)) << k;
+    }
+    uint64_t& word = words[i >> 6];
+    switch (mode) {
+      case BitmapMode::kAssign:
+        word = built;
+        break;
+      case BitmapMode::kAnd:
+        word &= built;
+        break;
+      case BitmapMode::kOr:
+        word |= built;
+        break;
+    }
+  }
+  if (i < end) MatchBitmap_Sse2(values, i, end, pred, words, mode);
+}
+
+CRACKDB_AVX2 void FoldSpan_Avx2(FoldOp op, const Value* values, size_t n,
+                                Value* acc, bool* valid) {
+  if (n < 8) {
+    FoldSpan_Scalar(op, values, n, acc, valid);
+    return;
+  }
+  Value result = 0;
+  size_t i;
+  switch (op) {
+    case FoldOp::kSum: {
+      __m256i s = _mm256_setzero_si256();
+      for (i = 0; i + 4 <= n; i += 4) {
+        s = _mm256_add_epi64(s, LoadValues(values + i));
+      }
+      uint64_t sum = HSumLanes(s);
+      for (; i < n; ++i) sum += static_cast<uint64_t>(values[i]);
+      result = static_cast<Value>(sum);
+      break;
+    }
+    case FoldOp::kMin: {
+      __m256i m = LoadValues(values);
+      for (i = 4; i + 4 <= n; i += 4) {
+        const __m256i v = LoadValues(values + i);
+        m = _mm256_blendv_epi8(m, v, _mm256_cmpgt_epi64(m, v));
+      }
+      alignas(32) int64_t lanes[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), m);
+      result = std::min(std::min(lanes[0], lanes[1]),
+                        std::min(lanes[2], lanes[3]));
+      for (; i < n; ++i) result = std::min(result, values[i]);
+      break;
+    }
+    case FoldOp::kMax: {
+      __m256i m = LoadValues(values);
+      for (i = 4; i + 4 <= n; i += 4) {
+        const __m256i v = LoadValues(values + i);
+        m = _mm256_blendv_epi8(m, v, _mm256_cmpgt_epi64(v, m));
+      }
+      alignas(32) int64_t lanes[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), m);
+      result = std::max(std::max(lanes[0], lanes[1]),
+                        std::max(lanes[2], lanes[3]));
+      for (; i < n; ++i) result = std::max(result, values[i]);
+      break;
+    }
+  }
+  FoldSpan_Scalar(op, &result, 1, acc, valid);
+}
+
+CRACKDB_AVX2 void FoldGather_Avx2(FoldOp op, const Value* values,
+                                  const Key* keys, size_t n, Value* acc,
+                                  bool* valid) {
+  if (n < 8) {
+    FoldGather_Scalar(op, values, keys, n, acc, valid);
+    return;
+  }
+  Value result = 0;
+  size_t i;
+  switch (op) {
+    case FoldOp::kSum: {
+      __m256i s = _mm256_setzero_si256();
+      for (i = 0; i + 4 <= n; i += 4) {
+        const __m128i kv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+        s = _mm256_add_epi64(s, GatherValues(values, kv));
+      }
+      uint64_t sum = HSumLanes(s);
+      for (; i < n; ++i) sum += static_cast<uint64_t>(values[keys[i]]);
+      result = static_cast<Value>(sum);
+      break;
+    }
+    case FoldOp::kMin: {
+      __m256i m = GatherValues(
+          values, _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys)));
+      for (i = 4; i + 4 <= n; i += 4) {
+        const __m128i kv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+        const __m256i v = GatherValues(values, kv);
+        m = _mm256_blendv_epi8(m, v, _mm256_cmpgt_epi64(m, v));
+      }
+      alignas(32) int64_t lanes[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), m);
+      result = std::min(std::min(lanes[0], lanes[1]),
+                        std::min(lanes[2], lanes[3]));
+      for (; i < n; ++i) result = std::min(result, values[keys[i]]);
+      break;
+    }
+    case FoldOp::kMax: {
+      __m256i m = GatherValues(
+          values, _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys)));
+      for (i = 4; i + 4 <= n; i += 4) {
+        const __m128i kv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+        const __m256i v = GatherValues(values, kv);
+        m = _mm256_blendv_epi8(m, v, _mm256_cmpgt_epi64(v, m));
+      }
+      alignas(32) int64_t lanes[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), m);
+      result = std::max(std::max(lanes[0], lanes[1]),
+                        std::max(lanes[2], lanes[3]));
+      for (; i < n; ++i) result = std::max(result, values[keys[i]]);
+      break;
+    }
+  }
+  FoldSpan_Scalar(op, &result, 1, acc, valid);
+}
+
+CRACKDB_AVX2 void Gather_Avx2(const Value* values, const Key* keys, size_t n,
+                              Value* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i kv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+    StoreValues(out + i, GatherValues(values, kv));
+  }
+  for (; i < n; ++i) out[i] = values[keys[i]];
+}
+
+}  // namespace crackdb::kernels::detail
+
+#else  // !CRACKDB_AVX2_ARM
+
+namespace crackdb::kernels::detail {
+
+bool HasAvx2Arm() { return false; }
+
+size_t CrackInTwo_Avx2(Value* head, Value* tail, size_t n, Bound bound) {
+  return CrackInTwo_Sse2(head, tail, n, bound);
+}
+void CrackInThree_Avx2(Value* head, Value* tail, size_t n, Bound lo,
+                       Bound hi, size_t* mid_begin, size_t* hi_begin) {
+  CrackInThree_Sse2(head, tail, n, lo, hi, mid_begin, hi_begin);
+}
+size_t CountRange_Avx2(const Value* values, size_t n,
+                       const RangePredicate& pred) {
+  return CountRange_Sse2(values, n, pred);
+}
+void SelectRange_Avx2(const Value* values, size_t n,
+                      const RangePredicate& pred, Key base,
+                      std::vector<Key>* out) {
+  SelectRange_Sse2(values, n, pred, base, out);
+}
+void FilterKeys_Avx2(const Value* values, const Key* keys, size_t n,
+                     const RangePredicate& pred, std::vector<Key>* out) {
+  FilterKeys_Sse2(values, keys, n, pred, out);
+}
+void MatchBitmap_Avx2(const Value* values, size_t begin, size_t end,
+                      const RangePredicate& pred, uint64_t* words,
+                      BitmapMode mode) {
+  MatchBitmap_Sse2(values, begin, end, pred, words, mode);
+}
+void FoldSpan_Avx2(FoldOp op, const Value* values, size_t n, Value* acc,
+                   bool* valid) {
+  FoldSpan_Sse2(op, values, n, acc, valid);
+}
+void FoldGather_Avx2(FoldOp op, const Value* values, const Key* keys,
+                     size_t n, Value* acc, bool* valid) {
+  FoldGather_Sse2(op, values, keys, n, acc, valid);
+}
+void Gather_Avx2(const Value* values, const Key* keys, size_t n, Value* out) {
+  Gather_Sse2(values, keys, n, out);
+}
+
+}  // namespace crackdb::kernels::detail
+
+#endif  // CRACKDB_AVX2_ARM

@@ -1,0 +1,202 @@
+// The scalar reference arm: the spec every SIMD arm is property-tested
+// against (tests/kernel_test.cc, docs/KERNELS.md). The loops here are the
+// pre-kernel hot-path implementations, preserved verbatim in behavior:
+// crack-in-two is the Hoare-style partition and crack-in-three the
+// Dutch-national-flag pass that cracking has always used, so a forced
+// scalar run (CRACKDB_KERNEL_ISA=scalar) reproduces historical layouts
+// bit for bit.
+
+#include <algorithm>
+#include <utility>
+
+#include "kernels/kernel_arms.h"
+#include "kernels/kernel_impl.h"
+
+namespace crackdb::kernels::detail {
+
+namespace {
+
+inline void SwapPair(Value* head, Value* tail, size_t i, size_t j) {
+  std::swap(head[i], head[j]);
+  std::swap(tail[i], tail[j]);
+}
+
+}  // namespace
+
+size_t CrackInTwo_Scalar(Value* head, Value* tail, size_t n, Bound bound) {
+  const UpperThreshold th = ThresholdOf(bound);
+  if (th.none) return n;
+  const Value t = th.threshold;
+  size_t i = 0;
+  size_t j = n;
+  // Hoare-style partition: i scans for entries belonging to the upper
+  // part (v >= t), j for entries belonging to the lower part.
+  while (true) {
+    while (i < j && head[i] < t) ++i;
+    while (i < j && head[j - 1] >= t) --j;
+    if (i + 1 >= j) break;
+    SwapPair(head, tail, i, j - 1);
+    ++i;
+    --j;
+  }
+  return i;
+}
+
+void CrackInThree_Scalar(Value* head, Value* tail, size_t n, Bound lo,
+                         Bound hi, size_t* mid_begin, size_t* hi_begin) {
+  const UpperThreshold th_lo = ThresholdOf(lo);
+  const UpperThreshold th_hi = ThresholdOf(hi);
+  if (th_lo.none) {  // nothing satisfies lo: everything is the lower part
+    *mid_begin = n;
+    *hi_begin = n;
+    return;
+  }
+  if (th_hi.none) {  // no upper part: reduces to crack-in-two on lo
+    *mid_begin = CrackInTwo_Scalar(head, tail, n, lo);
+    *hi_begin = n;
+    return;
+  }
+  const Value t_lo = th_lo.threshold;
+  const Value t_hi = th_hi.threshold;
+  // Dutch-national-flag partition: [0, lo_end) below, [lo_end, mid)
+  // middle, [hb, n) above.
+  size_t lo_end = 0;
+  size_t mid = 0;
+  size_t hb = n;
+  while (mid < hb) {
+    const Value v = head[mid];
+    if (v < t_lo) {
+      SwapPair(head, tail, lo_end, mid);
+      ++lo_end;
+      ++mid;
+    } else if (v >= t_hi) {
+      --hb;
+      SwapPair(head, tail, mid, hb);
+    } else {
+      ++mid;
+    }
+  }
+  *mid_begin = lo_end;
+  *hi_begin = hb;
+}
+
+size_t CountRange_Scalar(const Value* values, size_t n,
+                         const RangePredicate& pred) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (pred.Matches(values[i])) ++count;
+  }
+  return count;
+}
+
+void SelectRange_Scalar(const Value* values, size_t n,
+                        const RangePredicate& pred, Key base,
+                        std::vector<Key>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (pred.Matches(values[i])) {
+      out->push_back(base + static_cast<Key>(i));
+    }
+  }
+}
+
+void FilterKeys_Scalar(const Value* values, const Key* keys, size_t n,
+                       const RangePredicate& pred, std::vector<Key>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (pred.Matches(values[keys[i]])) out->push_back(keys[i]);
+  }
+}
+
+void MatchBitmap_Scalar(const Value* values, size_t begin, size_t end,
+                        const RangePredicate& pred, uint64_t* words,
+                        BitmapMode mode) {
+  for (size_t i = begin; i < end; ++i) {
+    const bool match = pred.Matches(values[i]);
+    const uint64_t bit = uint64_t{1} << (i & 63);
+    uint64_t& word = words[i >> 6];
+    switch (mode) {
+      case BitmapMode::kAssign:
+        word = match ? (word | bit) : (word & ~bit);
+        break;
+      case BitmapMode::kAnd:
+        if (!match) word &= ~bit;
+        break;
+      case BitmapMode::kOr:
+        if (match) word |= bit;
+        break;
+    }
+  }
+}
+
+void FoldSpan_Scalar(FoldOp op, const Value* values, size_t n, Value* acc,
+                     bool* valid) {
+  if (n == 0) return;
+  Value result = values[0];
+  switch (op) {
+    case FoldOp::kSum: {
+      // Unsigned accumulation: wraparound is defined and arm-identical.
+      uint64_t sum = static_cast<uint64_t>(result);
+      for (size_t i = 1; i < n; ++i) {
+        sum += static_cast<uint64_t>(values[i]);
+      }
+      result = static_cast<Value>(sum);
+      break;
+    }
+    case FoldOp::kMin:
+      for (size_t i = 1; i < n; ++i) result = std::min(result, values[i]);
+      break;
+    case FoldOp::kMax:
+      for (size_t i = 1; i < n; ++i) result = std::max(result, values[i]);
+      break;
+  }
+  if (!*valid) {
+    *acc = result;
+    *valid = true;
+    return;
+  }
+  switch (op) {
+    case FoldOp::kSum:
+      *acc = static_cast<Value>(static_cast<uint64_t>(*acc) +
+                                static_cast<uint64_t>(result));
+      break;
+    case FoldOp::kMin:
+      *acc = std::min(*acc, result);
+      break;
+    case FoldOp::kMax:
+      *acc = std::max(*acc, result);
+      break;
+  }
+}
+
+void FoldGather_Scalar(FoldOp op, const Value* values, const Key* keys,
+                       size_t n, Value* acc, bool* valid) {
+  if (n == 0) return;
+  Value result = values[keys[0]];
+  switch (op) {
+    case FoldOp::kSum: {
+      uint64_t sum = static_cast<uint64_t>(result);
+      for (size_t i = 1; i < n; ++i) {
+        sum += static_cast<uint64_t>(values[keys[i]]);
+      }
+      result = static_cast<Value>(sum);
+      break;
+    }
+    case FoldOp::kMin:
+      for (size_t i = 1; i < n; ++i) {
+        result = std::min(result, values[keys[i]]);
+      }
+      break;
+    case FoldOp::kMax:
+      for (size_t i = 1; i < n; ++i) {
+        result = std::max(result, values[keys[i]]);
+      }
+      break;
+  }
+  FoldSpan_Scalar(op, &result, 1, acc, valid);
+}
+
+void Gather_Scalar(const Value* values, const Key* keys, size_t n,
+                   Value* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = values[keys[i]];
+}
+
+}  // namespace crackdb::kernels::detail

@@ -1,0 +1,204 @@
+// The portable branch-free arm (Isa::kSse2). No intrinsics: every loop is
+// written predicated — data-dependent branches become arithmetic on the
+// comparison result — so the compiler can auto-vectorize under the x86-64
+// baseline (SSE2) and branch mispredictions vanish even where it can't.
+// Cracks are out-of-place dual-writes: the lower class is written back in
+// place (its cursor never passes the read index), upper classes stream
+// into thread-local scratch and are copied back after the pass. The
+// resulting intra-piece order differs from the scalar arm's swap-based
+// partition but is deterministic; the contract (split position + per-side
+// multisets) is identical.
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernels/kernel_arms.h"
+#include "kernels/kernel_impl.h"
+
+namespace crackdb::kernels::detail {
+
+size_t CrackInTwo_Sse2(Value* head, Value* tail, size_t n, Bound bound) {
+  const UpperThreshold th = ThresholdOf(bound);
+  if (th.none) return n;
+  const Value t = th.threshold;
+  CrackScratch& s = TlsCrackScratch();
+  s.EnsureUpper(n);
+  Value* uh = s.up_head.data();
+  Value* ut = s.up_tail.data();
+  size_t lo = 0;
+  size_t up = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Value v = head[i];
+    const Value w = tail[i];
+    const bool is_up = v >= t;
+    // Dual write: both destinations written unconditionally, one cursor
+    // advances. lo <= i always, so the in-place write never clobbers an
+    // unread entry.
+    head[lo] = v;
+    tail[lo] = w;
+    uh[up] = v;
+    ut[up] = w;
+    lo += static_cast<size_t>(!is_up);
+    up += static_cast<size_t>(is_up);
+  }
+  if (up != 0) {
+    std::memcpy(head + lo, uh, up * sizeof(Value));
+    std::memcpy(tail + lo, ut, up * sizeof(Value));
+  }
+  return lo;
+}
+
+void CrackInThree_Sse2(Value* head, Value* tail, size_t n, Bound lo,
+                       Bound hi, size_t* mid_begin, size_t* hi_begin) {
+  const UpperThreshold th_lo = ThresholdOf(lo);
+  const UpperThreshold th_hi = ThresholdOf(hi);
+  if (th_lo.none) {
+    *mid_begin = n;
+    *hi_begin = n;
+    return;
+  }
+  if (th_hi.none) {
+    *mid_begin = CrackInTwo_Sse2(head, tail, n, lo);
+    *hi_begin = n;
+    return;
+  }
+  const Value t_lo = th_lo.threshold;
+  const Value t_hi = th_hi.threshold;
+  CrackScratch& s = TlsCrackScratch();
+  s.EnsureUpper(n);
+  s.EnsureMiddle(n);
+  Value* mh = s.mid_head.data();
+  Value* mt = s.mid_tail.data();
+  Value* uh = s.up_head.data();
+  Value* ut = s.up_tail.data();
+  size_t nlo = 0;
+  size_t nmid = 0;
+  size_t nup = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Value v = head[i];
+    const Value w = tail[i];
+    const bool ge_lo = v >= t_lo;
+    const bool ge_hi = v >= t_hi;
+    head[nlo] = v;
+    tail[nlo] = w;
+    mh[nmid] = v;
+    mt[nmid] = w;
+    uh[nup] = v;
+    ut[nup] = w;
+    nlo += static_cast<size_t>(!ge_lo);
+    nmid += static_cast<size_t>(ge_lo & !ge_hi);
+    nup += static_cast<size_t>(ge_hi);
+  }
+  if (nmid != 0) {
+    std::memcpy(head + nlo, mh, nmid * sizeof(Value));
+    std::memcpy(tail + nlo, mt, nmid * sizeof(Value));
+  }
+  if (nup != 0) {
+    std::memcpy(head + nlo + nmid, uh, nup * sizeof(Value));
+    std::memcpy(tail + nlo + nmid, ut, nup * sizeof(Value));
+  }
+  *mid_begin = nlo;
+  *hi_begin = nlo + nmid;
+}
+
+size_t CountRange_Sse2(const Value* values, size_t n,
+                       const RangePredicate& pred) {
+  const ClosedRange r = NormalizeRange(pred);
+  if (r.empty) return 0;
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Value v = values[i];
+    count += static_cast<size_t>((v >= r.lo) & (v <= r.hi));
+  }
+  return count;
+}
+
+void SelectRange_Sse2(const Value* values, size_t n,
+                      const RangePredicate& pred, Key base,
+                      std::vector<Key>* out) {
+  const ClosedRange r = NormalizeRange(pred);
+  if (r.empty || n == 0) return;
+  // Over-allocate to n appended keys, write with a predicated cursor,
+  // shrink to the matched count. The cursor never passes i, so every
+  // unconditional write lands in the reserved region.
+  const size_t old = out->size();
+  out->resize(old + n);
+  Key* dst = out->data() + old;
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Value v = values[i];
+    dst[c] = base + static_cast<Key>(i);
+    c += static_cast<size_t>((v >= r.lo) & (v <= r.hi));
+  }
+  out->resize(old + c);
+}
+
+void FilterKeys_Sse2(const Value* values, const Key* keys, size_t n,
+                     const RangePredicate& pred, std::vector<Key>* out) {
+  const ClosedRange r = NormalizeRange(pred);
+  if (r.empty || n == 0) return;
+  const size_t old = out->size();
+  out->resize(old + n);
+  Key* dst = out->data() + old;
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Key k = keys[i];
+    const Value v = values[k];
+    dst[c] = k;
+    c += static_cast<size_t>((v >= r.lo) & (v <= r.hi));
+  }
+  out->resize(old + c);
+}
+
+void MatchBitmap_Sse2(const Value* values, size_t begin, size_t end,
+                      const RangePredicate& pred, uint64_t* words,
+                      BitmapMode mode) {
+  const ClosedRange r = NormalizeRange(pred);
+  size_t i = begin;
+  while (i < end) {
+    // Build this word's covered bits branch-free, then combine once.
+    const size_t w = i >> 6;
+    const size_t word_end = std::min(end, (w + 1) << 6);
+    const unsigned first_bit = static_cast<unsigned>(i & 63);
+    uint64_t built = 0;
+    for (; i < word_end; ++i) {
+      const Value v = values[i];
+      const uint64_t match =
+          static_cast<uint64_t>(!r.empty & (v >= r.lo) & (v <= r.hi));
+      built |= match << (i & 63);
+    }
+    const unsigned last_bit = static_cast<unsigned>((word_end - 1) & 63);
+    uint64_t mask = ~uint64_t{0} << first_bit;
+    if (last_bit != 63) mask &= (uint64_t{1} << (last_bit + 1)) - 1;
+    switch (mode) {
+      case BitmapMode::kAssign:
+        words[w] = (words[w] & ~mask) | built;
+        break;
+      case BitmapMode::kAnd:
+        words[w] &= built | ~mask;
+        break;
+      case BitmapMode::kOr:
+        words[w] |= built;
+        break;
+    }
+  }
+}
+
+// The fold and gather loops in the scalar arm are already branch-free and
+// auto-vectorize under the baseline ISA; the portable arm shares them.
+
+void FoldSpan_Sse2(FoldOp op, const Value* values, size_t n, Value* acc,
+                   bool* valid) {
+  FoldSpan_Scalar(op, values, n, acc, valid);
+}
+
+void FoldGather_Sse2(FoldOp op, const Value* values, const Key* keys,
+                     size_t n, Value* acc, bool* valid) {
+  FoldGather_Scalar(op, values, keys, n, acc, valid);
+}
+
+void Gather_Sse2(const Value* values, const Key* keys, size_t n, Value* out) {
+  Gather_Scalar(values, keys, n, out);
+}
+
+}  // namespace crackdb::kernels::detail

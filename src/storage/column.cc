@@ -1,5 +1,7 @@
 #include "storage/column.h"
 
+#include "kernels/kernels.h"
+
 namespace crackdb {
 
 std::vector<Key> Column::Select(const RangePredicate& pred) const {
@@ -9,10 +11,17 @@ std::vector<Key> Column::Select(const RangePredicate& pred) const {
 std::vector<Key> Column::Select(const RangePredicate& pred,
                                 const std::vector<bool>* deleted) const {
   std::vector<Key> out;
+  if (deleted == nullptr) {
+    kernels::SelectRange(values_.data(), values_.size(), pred, /*base=*/0,
+                         &out);
+    return out;
+  }
+  // Tombstone-aware path stays scalar: vector<bool> is bit-packed and the
+  // mask is consulted per matching position only.
   const size_t n = values_.size();
   for (size_t i = 0; i < n; ++i) {
     if (pred.Matches(values_[i])) {
-      if (deleted != nullptr && (*deleted)[i]) continue;
+      if ((*deleted)[i]) continue;
       out.push_back(static_cast<Key>(i));
     }
   }
@@ -20,18 +29,14 @@ std::vector<Key> Column::Select(const RangePredicate& pred,
 }
 
 std::vector<Value> Column::Reconstruct(std::span<const Key> positions) const {
-  std::vector<Value> out;
-  out.reserve(positions.size());
-  for (Key k : positions) out.push_back(values_[k]);
+  std::vector<Value> out(positions.size());
+  kernels::Gather(values_.data(), positions.data(), positions.size(),
+                  out.data());
   return out;
 }
 
 size_t Column::CountMatches(const RangePredicate& pred) const {
-  size_t n = 0;
-  for (Value v : values_) {
-    if (pred.Matches(v)) ++n;
-  }
-  return n;
+  return kernels::CountRange(values_.data(), values_.size(), pred);
 }
 
 }  // namespace crackdb
