@@ -1,0 +1,430 @@
+// The grouped-aggregation pushdown vs the classic materialize-then-group
+// loop: the same selective queries run through the fluent API two ways —
+// Project(key, value) + client-side GroupBySpans/GroupedSum (the control
+// arm, exactly what every caller had to do before the GroupBy terminal
+// existed) and GroupBy(key).Aggregate(...) (the pushdown, a per-partition
+// open-addressing hash aggregation under each partition's lock followed by
+// a partial-table merge on the caller thread). The control arm copies
+// every qualifying key and value across the partition merge; the pushdown
+// moves only group-count-sized partial tables, so the gap widens with both
+// selectivity and row count.
+//
+//   ./bench_group_by                     # sel 1,5,10,20% x groups 16,256,4096
+//   ./bench_group_by --engine=partial --sel=10 --groups=256
+//   ./bench_group_by --smoke             # CI fast path
+//
+// Verify-before-trust: pushdown group tables are checked against a
+// plain-scan std::map oracle before any timing is reported, both arms'
+// checksums must agree on every sweep point, and every pushed-down query
+// must report exactly zero reconstruction cost. Each sweep point emits a
+// machine-readable `BENCH_group_by {...}` JSON line.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "bench_util/workload.h"
+#include "common/timer.h"
+#include "engine/database.h"
+#include "engine/operators.h"
+#include "engine/plain_engine.h"
+#include "kernels/cpu_dispatch.h"
+#include "storage/catalog.h"
+
+namespace crackdb::bench {
+namespace {
+
+constexpr Value kDomain = 10'000'000;
+
+// Group-key columns baked into the relation, one per sweep cardinality:
+// A3 has 16 distinct values, A4 has 256, A5 has 4096.
+constexpr size_t kGroupCards[] = {16, 256, 4096};
+
+struct GroupByOptions {
+  std::vector<size_t> sel_pct;      // empty = default sweep
+  std::vector<size_t> group_cards;  // empty = default sweep
+  size_t partitions = 8;
+  size_t pool = 0;
+  std::string engine = "sideways";
+};
+
+std::string GroupAttrFor(size_t cardinality) {
+  for (size_t i = 0; i < 3; ++i) {
+    if (kGroupCards[i] == cardinality) return AttrName(3 + i);
+  }
+  std::fprintf(stderr, "--groups wants one of 16,256,4096, got %zu\n",
+               cardinality);
+  std::exit(2);
+}
+
+/// A1 = selection attr, A2 = folded value (both uniform over the full
+/// domain); A3..A5 = group keys of the three sweep cardinalities.
+Relation& CreateGroupedRelation(Catalog* catalog, size_t rows, Rng* rng) {
+  Relation& rel = catalog->CreateRelation("R");
+  for (size_t a = 1; a <= 5; ++a) rel.AddColumn(AttrName(a));
+  std::vector<Value> row(5);
+  for (size_t r = 0; r < rows; ++r) {
+    row[0] = rng->Uniform(1, kDomain);
+    row[1] = rng->Uniform(1, kDomain);
+    for (size_t i = 0; i < 3; ++i) {
+      row[2 + i] = rng->Uniform(1, static_cast<Value>(kGroupCards[i]));
+    }
+    rel.BulkLoadRow(row);
+  }
+  return rel;
+}
+
+PartitionSpec MakeSpec(const GroupByOptions& opt) {
+  PartitionSpec spec;
+  spec.kind = PartitionSpec::Kind::kRange;
+  spec.num_partitions = opt.partitions;
+  spec.column = AttrName(1);
+  spec.domain_lo = 1;
+  spec.domain_hi = kDomain;
+  return spec;
+}
+
+std::unique_ptr<Database> MakeDatabase(const Relation& source,
+                                       const GroupByOptions& opt) {
+  DatabaseOptions db_opt;
+  db_opt.pool_threads = opt.pool;
+  auto db = std::make_unique<Database>(db_opt);
+  db->RegisterSharded("R", source, MakeSpec(opt), opt.engine);
+  return db;
+}
+
+std::vector<RangePredicate> MakePredicates(uint64_t seed, size_t count,
+                                           double selectivity) {
+  Rng rng(seed);
+  std::vector<RangePredicate> preds;
+  preds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    preds.push_back(RandomRange(&rng, 1, kDomain, selectivity));
+  }
+  return preds;
+}
+
+enum class Arm { kMaterializeGroup, kPushdown };
+
+struct ArmResult {
+  double qps = 0;
+  uint64_t total_rows = 0;
+  uint64_t total_groups = 0;
+  /// Order-insensitive fold digest: sum over groups of
+  /// key * (count + sum-of-values), wrapping mod 2^64.
+  uint64_t digest = 0;
+  bool reconstruct_zero = true;
+};
+
+uint64_t GroupDigest(Value key, uint64_t count, Value sum) {
+  return static_cast<uint64_t>(key) *
+         (count + static_cast<uint64_t>(sum));
+}
+
+/// Runs one arm on a fresh database: an untimed warmup pass over the
+/// predicate sequence (the crackers converge on the arm's own access
+/// pattern), then the timed pass. Both arms pay identical selection work;
+/// what differs is where the grouping happens and how much data crosses
+/// the partition merge.
+ArmResult RunArm(const Relation& source, const GroupByOptions& opt, Arm arm,
+                 const std::string& group_attr,
+                 const std::vector<RangePredicate>& preds) {
+  const std::unique_ptr<Database> db = MakeDatabase(source, opt);
+  ArmResult result;
+  double elapsed = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool timed = pass == 1;
+    result.total_rows = 0;
+    result.total_groups = 0;
+    result.digest = 0;
+    Timer timer;
+    for (const RangePredicate& pred : preds) {
+      switch (arm) {
+        case Arm::kMaterializeGroup: {
+          auto r = db->From("R")
+                       .Where(AttrName(1), pred)
+                       .Project(group_attr, AttrName(2))
+                       .Execute();
+          if (!r.ok()) {
+            std::fprintf(stderr, "FAILED: %s\n", r.error().c_str());
+            std::exit(1);
+          }
+          const std::vector<std::span<const Value>> keys = {
+              {r->rows.columns[0].data(), r->rows.columns[0].size()}};
+          const Groups g = GroupBySpans(keys);
+          const std::vector<Value> sums = GroupedSum(g, r->rows.columns[1]);
+          const std::vector<Value> counts = GroupedCount(g);
+          result.total_rows += r->rows.num_rows;
+          result.total_groups += g.num_groups();
+          for (size_t gi = 0; gi < g.num_groups(); ++gi) {
+            result.digest += GroupDigest(
+                g.keys[gi][0], static_cast<uint64_t>(counts[gi]), sums[gi]);
+          }
+          break;
+        }
+        case Arm::kPushdown: {
+          auto r = db->From("R")
+                       .Where(AttrName(1), pred)
+                       .GroupBy(group_attr)
+                       .Aggregate(AggregateOp::kSum, AttrName(2))
+                       .Aggregate(AggregateOp::kCount, AttrName(2))
+                       .Execute();
+          if (!r.ok()) {
+            std::fprintf(stderr, "FAILED: %s\n", r.error().c_str());
+            std::exit(1);
+          }
+          result.total_rows += r->count;
+          result.total_groups += r->groups.num_groups();
+          for (size_t gi = 0; gi < r->groups.num_groups(); ++gi) {
+            result.digest += GroupDigest(r->groups.keys[gi],
+                                         r->groups.counts[gi],
+                                         r->groups.aggregates[0][gi]);
+          }
+          result.reconstruct_zero &= r->cost.reconstruct_micros == 0;
+          break;
+        }
+      }
+    }
+    if (timed) elapsed = timer.ElapsedSeconds();
+  }
+  result.qps = static_cast<double>(preds.size()) / elapsed;
+  return result;
+}
+
+/// Pushdown group tables must equal a plain-scan std::map oracle before
+/// any timing is trusted.
+bool VerifyAgainstOracle(const Relation& source, const GroupByOptions& opt,
+                         const std::string& group_attr) {
+  const std::unique_ptr<Database> db = MakeDatabase(source, opt);
+  PlainEngine plain(source);
+  Rng rng(161803);
+  for (int q = 0; q < 10; ++q) {
+    const RangePredicate pred = RandomRange(&rng, 1, kDomain, 0.05);
+    const QuerySpec oracle_spec =
+        SelectProject({{AttrName(1), pred}}, {group_attr, AttrName(2)});
+    const QueryResult oracle = plain.Run(oracle_spec);
+    std::map<Value, std::pair<uint64_t, Value>> expect;  // key -> count,sum
+    for (size_t r = 0; r < oracle.num_rows; ++r) {
+      auto& slot = expect[oracle.columns[0][r]];
+      slot.first += 1;
+      slot.second += oracle.columns[1][r];
+    }
+
+    auto got = db->From("R")
+                   .Where(AttrName(1), pred)
+                   .GroupBy(group_attr)
+                   .Aggregate(AggregateOp::kSum, AttrName(2))
+                   .Aggregate(AggregateOp::kCount, AttrName(2))
+                   .Execute();
+    if (!got.ok()) return false;
+    if (got->groups.num_groups() != expect.size()) return false;
+    size_t gi = 0;  // finalize contract: keys ascending, as std::map walks
+    for (const auto& [key, cs] : expect) {
+      if (got->groups.keys[gi] != key) return false;
+      if (got->groups.counts[gi] != cs.first) return false;
+      if (got->groups.aggregates[0][gi] != cs.second) return false;
+      if (got->groups.aggregates[1][gi] !=
+          static_cast<Value>(cs.first)) {
+        return false;
+      }
+      ++gi;
+    }
+    if (got->cost.reconstruct_micros != 0) return false;
+  }
+  return true;
+}
+
+void Run(const BenchArgs& args, const GroupByOptions& opt) {
+  const size_t rows = args.rows != 0 ? args.rows
+                      : args.paper_scale ? 10'000'000
+                                         : 200'000;
+  const size_t queries = args.queries != 0 ? args.queries
+                         : args.smoke      ? 6
+                         : args.paper_scale ? 1'000
+                                            : 200;
+  std::vector<size_t> sel_sweep = opt.sel_pct;
+  if (sel_sweep.empty()) {
+    sel_sweep = args.smoke ? std::vector<size_t>{10}
+                           : std::vector<size_t>{1, 5, 10, 20};
+  }
+  std::vector<size_t> card_sweep = opt.group_cards;
+  if (card_sweep.empty()) {
+    card_sweep = args.smoke ? std::vector<size_t>{256}
+                            : std::vector<size_t>{16, 256, 4096};
+  }
+  GroupByOptions effective = opt;
+  if (args.smoke && effective.partitions > 4) effective.partitions = 4;
+  if (!MakeEngineFactory(effective.engine)) {
+    std::fprintf(stderr, "unknown engine kind '%s'; valid kinds:",
+                 effective.engine.c_str());
+    for (const EngineKindEntry& entry : kEngineKinds) {
+      std::fprintf(stderr, " %s", entry.name);
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+
+  Catalog catalog;
+  Rng data_rng(args.seed);
+  Relation& source = CreateGroupedRelation(&catalog, rows, &data_rng);
+  const char* kernel_isa = kernels::IsaName(kernels::ActiveIsa());
+  std::printf(
+      "# group by: engine=%s rows=%zu queries=%zu partitions=%zu pool=%zu "
+      "kernel=%s\n",
+      effective.engine.c_str(), rows, queries, effective.partitions,
+      effective.pool, kernel_isa);
+
+  for (const size_t card : card_sweep) {
+    if (!VerifyAgainstOracle(source, effective, GroupAttrFor(card))) {
+      std::fprintf(stderr,
+                   "FAILED: pushdown groups diverge from the plain oracle "
+                   "(groups=%zu)\n",
+                   card);
+      std::exit(1);
+    }
+  }
+  std::printf("# verification pushdown==map-oracle: ok\n");
+
+  FigureHeader("group_by", "grouped pushdown speedup vs selectivity",
+               "selectivity_pct", "speedup");
+  TablePrinter table({"sel%", "groups", "arm", "qps", "speedup"});
+  SeriesHeader("group_by-" + effective.engine);
+  for (const size_t card : card_sweep) {
+    const std::string group_attr = GroupAttrFor(card);
+    for (const size_t pct : sel_sweep) {
+      const double selectivity = static_cast<double>(pct) / 100.0;
+      const std::vector<RangePredicate> preds =
+          MakePredicates(args.seed + card * 100 + pct, queries, selectivity);
+
+      const ArmResult control = RunArm(source, effective,
+                                       Arm::kMaterializeGroup, group_attr,
+                                       preds);
+      const ArmResult push =
+          RunArm(source, effective, Arm::kPushdown, group_attr, preds);
+
+      // The arms grouped the identical predicate sequence on identical
+      // data; any checksum divergence voids the timing.
+      if (push.total_rows != control.total_rows ||
+          push.total_groups != control.total_groups ||
+          push.digest != control.digest) {
+        std::fprintf(stderr,
+                     "FAILED: arm checksums diverged at sel=%zu%% "
+                     "groups=%zu\n",
+                     pct, card);
+        std::exit(1);
+      }
+      if (!push.reconstruct_zero) {
+        std::fprintf(stderr,
+                     "FAILED: a pushed-down query charged reconstruction\n");
+        std::exit(1);
+      }
+
+      const double speedup = push.qps / control.qps;
+      if (card == card_sweep.front()) {
+        Point(static_cast<double>(pct), speedup);
+      }
+      table.AddRow({std::to_string(pct), std::to_string(card),
+                    "materialize+group", Fmt(control.qps, 0), "1.00"});
+      table.AddRow({std::to_string(pct), std::to_string(card), "pushdown",
+                    Fmt(push.qps, 0), Fmt(speedup, 2)});
+      std::printf(
+          "BENCH_group_by {\"engine\":\"%s\",\"rows\":%zu,\"queries\":%zu,"
+          "\"sel_pct\":%zu,\"group_card\":%zu,\"kernel_isa\":\"%s\","
+          "\"materialize_qps\":%.1f,\"pushdown_qps\":%.1f,"
+          "\"speedup\":%.3f,\"reconstruct_zero\":true,\"verified\":true}\n",
+          effective.engine.c_str(), rows, queries, pct, card, kernel_isa,
+          control.qps, push.qps, speedup);
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace crackdb::bench
+
+int main(int argc, char** argv) {
+  using crackdb::bench::BenchArgs;
+  using crackdb::bench::BenchFlag;
+  crackdb::bench::GroupByOptions opt;
+  const BenchFlag extra[] = {
+      {"--sel=LIST",
+       "comma list of selectivity percents to sweep (default 1,5,10,20)",
+       [&opt](const char* a) {
+         if (std::strncmp(a, "--sel=", 6) != 0) return false;
+         opt.sel_pct = crackdb::bench::ParseSizeList("--sel", a + 6);
+         for (const size_t pct : opt.sel_pct) {
+           if (pct > 100) {
+             std::fprintf(stderr, "--sel wants percents in 1..100\n");
+             std::exit(2);
+           }
+         }
+         return true;
+       }},
+      {"--groups=LIST",
+       "comma list of group cardinalities to sweep, each one of 16,256,4096 "
+       "(default all three)",
+       [&opt](const char* a) {
+         if (std::strncmp(a, "--groups=", 9) != 0) return false;
+         opt.group_cards = crackdb::bench::ParseSizeList("--groups", a + 9);
+         for (const size_t card : opt.group_cards) {
+           crackdb::bench::GroupAttrFor(card);  // validates; exits on junk
+         }
+         return true;
+       }},
+      {"--partitions=N", "partition count for the sharded table (default 8)",
+       [&opt](const char* a) {
+         if (std::strncmp(a, "--partitions=", 13) != 0) return false;
+         const long long n = std::atoll(a + 13);
+         if (n < 1 || n > 4'096) {
+           std::fprintf(stderr, "--partitions wants 1..4096, got '%s'\n",
+                        a + 13);
+           std::exit(2);
+         }
+         opt.partitions = static_cast<size_t>(n);
+         return true;
+       }},
+      {"--pool=N",
+       "shared fan-out pool workers; 0 = inline per-client execution",
+       [&opt](const char* a) {
+         if (std::strncmp(a, "--pool=", 7) != 0) return false;
+         const long long n = std::atoll(a + 7);
+         if (n < 0 || n > 1'024) {
+           std::fprintf(stderr, "--pool wants 0..1024, got '%s'\n", a + 7);
+           std::exit(2);
+         }
+         opt.pool = static_cast<size_t>(n);
+         return true;
+       }},
+      {"--engine=KIND", "per-partition engine kind (default sideways)",
+       [&opt](const char* a) {
+         if (std::strncmp(a, "--engine=", 9) != 0) return false;
+         opt.engine = a + 9;
+         return true;
+       }},
+      {"--kernel=ISA",
+       "pin the kernel dispatch arm: scalar|sse2|avx2|auto (default auto)",
+       [](const char* a) {
+         if (std::strncmp(a, "--kernel=", 9) != 0) return false;
+         crackdb::kernels::Isa isa;
+         if (!crackdb::kernels::ParseIsa(a + 9, &isa)) {
+           std::fprintf(stderr,
+                        "--kernel wants scalar|sse2|avx2|auto, got '%s'\n",
+                        a + 9);
+           std::exit(2);
+         }
+         crackdb::kernels::ForceIsa(isa);
+         return true;
+       }},
+  };
+  const BenchArgs args = BenchArgs::Parse(argc, argv, extra);
+  crackdb::bench::Run(args, opt);
+  return 0;
+}

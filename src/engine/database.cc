@@ -94,8 +94,44 @@ std::string NormalizeTerminal(crackdb::Query& q) {
       break;
     case ConsumeKind::kAggregate:
       if (q.consume.attr.empty()) return "Aggregate() requires an attribute";
+      if (q.consume.op == AggregateOp::kCount) {
+        return "Aggregate(kCount) is grouped-only; use Count() for a scalar "
+               "cardinality query or GroupBy().Aggregate(kCount, ...) for "
+               "per-group counts";
+      }
       q.spec.projections = {q.consume.attr};
       break;
+    case ConsumeKind::kGroupBy: {
+      if (q.consume.group_attr.empty()) {
+        return "GroupBy() requires an attribute";
+      }
+      if (q.consume.group_aggs.empty()) {
+        return "GroupBy() requires at least one Aggregate()";
+      }
+      for (const GroupAggregate& agg : q.consume.group_aggs) {
+        if (agg.attr.empty()) return "Aggregate() requires an attribute";
+        if (agg.attr == q.consume.group_attr) {
+          return "aggregate attribute '" + agg.attr +
+                 "' duplicates the group key; the key (and per-group counts "
+                 "via kCount) are returned without folding it";
+        }
+      }
+      std::vector<std::string> pushdown = {q.consume.group_attr};
+      for (const GroupAggregate& agg : q.consume.group_aggs) {
+        if (agg.op == AggregateOp::kCount) continue;
+        if (std::find(pushdown.begin(), pushdown.end(), agg.attr) ==
+            pushdown.end()) {
+          pushdown.push_back(agg.attr);
+        }
+      }
+      if (!q.spec.projections.empty() && q.spec.projections != pushdown) {
+        return "Project('" + q.spec.projections.front() +
+               "', ...) conflicts with GroupBy(): a grouped query returns "
+               "the group key and aggregate columns only (remove Project())";
+      }
+      q.spec.projections = std::move(pushdown);
+      break;
+    }
     case ConsumeKind::kForEach:
       if (!q.consume.visitor) return "ForEach() requires a visitor";
       if (q.spec.projections.empty()) {
@@ -132,6 +168,14 @@ std::string Database::ValidateQuery(const Table& t, const crackdb::Query& q) {
   }
   if (q.consume.kind == ConsumeKind::kAggregate && !known(q.consume.attr)) {
     return unknown_attr(q.consume.attr);
+  }
+  if (q.consume.kind == ConsumeKind::kGroupBy) {
+    if (!known(q.consume.group_attr)) {
+      return unknown_attr(q.consume.group_attr);
+    }
+    for (const GroupAggregate& agg : q.consume.group_aggs) {
+      if (!known(agg.attr)) return unknown_attr(agg.attr);
+    }
   }
   return "";
 }

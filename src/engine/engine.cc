@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/timer.h"
+#include "engine/group_table.h"
 #include "engine/query.h"
 
 namespace crackdb {
@@ -39,6 +40,41 @@ ConsumeOutcome SelectionHandle::Consume(
         consume.visitor(row);
       }
       out.count = rows;
+      return out;
+    }
+    case ConsumeKind::kGroupBy: {
+      // Same view-based shape as kAggregate: the group key and each
+      // folded attribute come through FetchView (zero-copy on sideways
+      // maps and presorted copies — for sideways the key and aggregates
+      // are exactly an aligned cracker-map pair), then one dispatched
+      // grouped fold per value aggregate. Scattered engines override
+      // Consume and fold in place instead.
+      GroupAccumulator acc(consume);
+      const size_t num_aggs = consume.group_aggs.size();
+      std::vector<Value> group_storage;
+      const std::span<const Value> group_view =
+          FetchView(consume.group_attr, &group_storage);
+      std::vector<std::vector<Value>> storages(num_aggs);
+      std::vector<std::span<const Value>> views(num_aggs);
+      std::vector<const Value*> columns(num_aggs, nullptr);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        const GroupAggregate& agg = consume.group_aggs[a];
+        if (agg.op == AggregateOp::kCount) continue;  // no values fetched
+        // Duplicate-aggregate-attr case: fetch each attribute once.
+        for (size_t b = 0; b < a; ++b) {
+          if (columns[b] != nullptr && consume.group_aggs[b].attr == agg.attr) {
+            columns[a] = columns[b];
+            break;
+          }
+        }
+        if (columns[a] == nullptr) {
+          views[a] = FetchView(agg.attr, &storages[a]);
+          columns[a] = views[a].data();
+        }
+      }
+      acc.AddChunk(group_view.data(), nullptr, group_view.size(), columns);
+      out.count = NumRows();
+      out.groups = acc.Take();
       return out;
     }
     case ConsumeKind::kMaterialize:
@@ -84,14 +120,19 @@ ExecuteResult Engine::Execute(const QuerySpec& spec,
       break;
     }
     case ConsumeKind::kCount:
-    case ConsumeKind::kAggregate: {
-      // Scalar terminals: no tuple is reconstructed, so the fold is
-      // selection-side work and reconstruct_micros stays exactly 0.
+    case ConsumeKind::kAggregate:
+    case ConsumeKind::kGroupBy: {
+      // Scalar and grouped terminals: no tuple is reconstructed, so the
+      // fold (and the grouped finalize) is selection-side work and
+      // reconstruct_micros stays exactly 0.
       Timer fold_timer;
-      const ConsumeOutcome out = handle->Consume(consume, spec.projections);
+      ConsumeOutcome out = handle->Consume(consume, spec.projections);
       result.count = out.count;
       result.aggregate = out.aggregate;
       result.aggregate_valid = out.aggregate_valid;
+      if (consume.kind == ConsumeKind::kGroupBy) {
+        result.groups = FinalizeGrouped(consume, std::move(out.groups));
+      }
       const double fold_elapsed = fold_timer.ElapsedMicros();
       result.cost.select_micros += fold_elapsed;
       cost_.select_micros += fold_elapsed;

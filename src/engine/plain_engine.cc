@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/group_table.h"
 #include "engine/query.h"
 #include "kernels/kernels.h"
 
@@ -43,6 +44,24 @@ class PlainHandle : public SelectionHandle {
       kernels::FoldGather(ToFoldOp(consume.op), column.values().data(),
                           keys_.data(), keys_.size(), &out.aggregate,
                           &out.aggregate_valid);
+      return out;
+    }
+    if (consume.kind == ConsumeKind::kGroupBy) {
+      // Grouped fast path: the id pass and the grouped folds all gather
+      // straight off the base columns through the key list.
+      GroupAccumulator acc(consume);
+      std::vector<const Value*> columns;
+      columns.reserve(consume.group_aggs.size());
+      for (const GroupAggregate& agg : consume.group_aggs) {
+        columns.push_back(agg.op == AggregateOp::kCount
+                              ? nullptr
+                              : relation_->column(agg.attr).values().data());
+      }
+      acc.AddChunk(relation_->column(consume.group_attr).values().data(),
+                   keys_.data(), keys_.size(), columns);
+      ConsumeOutcome out;
+      out.count = keys_.size();
+      out.groups = acc.Take();
       return out;
     }
     return SelectionHandle::Consume(consume, projections);

@@ -63,11 +63,66 @@ Query QueryBuilder::Build() {
         Fail("Aggregate() requires an attribute");
         break;
       }
+      if (q_.consume.op == AggregateOp::kCount) {
+        Fail("Aggregate(kCount) is grouped-only; use Count() for a scalar "
+             "cardinality query or GroupBy().Aggregate(kCount, ...) for "
+             "per-group counts");
+        break;
+      }
       // Declare exactly the folded attribute: engines whose handles serve
       // only declared projections (partial, sharded) can then fold it,
-      // and nothing else is ever materialized.
+      // and nothing else is ever materialized. Terminals are last-call-
+      // wins, so an earlier Project() list is simply superseded.
       q_.spec.projections = {q_.consume.attr};
       break;
+    case ConsumeKind::kGroupBy: {
+      if (q_.consume.group_attr.empty()) {
+        Fail("GroupBy() requires an attribute");
+        break;
+      }
+      if (q_.consume.group_aggs.empty()) {
+        Fail("GroupBy() requires at least one Aggregate()");
+        break;
+      }
+      bool agg_error = false;
+      for (const GroupAggregate& agg : q_.consume.group_aggs) {
+        if (agg.attr.empty()) {
+          Fail("Aggregate() requires an attribute");
+          agg_error = true;
+          break;
+        }
+        if (agg.attr == q_.consume.group_attr) {
+          Fail("aggregate attribute '" + agg.attr +
+               "' duplicates the group key; the key (and per-group counts "
+               "via kCount) are returned without folding it");
+          agg_error = true;
+          break;
+        }
+      }
+      if (agg_error) break;
+      // The pushdown: declare the group key plus every *folded* attribute
+      // (kCount fetches no values), deduplicated — engines whose handles
+      // serve only declared projections then fold exactly these columns.
+      std::vector<std::string> pushdown = {q_.consume.group_attr};
+      for (const GroupAggregate& agg : q_.consume.group_aggs) {
+        if (agg.op == AggregateOp::kCount) continue;
+        if (std::find(pushdown.begin(), pushdown.end(), agg.attr) ==
+            pushdown.end()) {
+          pushdown.push_back(agg.attr);
+        }
+      }
+      // An explicit Project() list would be silently replaced by the
+      // pushdown — reject it (unless it *is* the pushdown, which keeps
+      // re-normalizing an already-built query idempotent).
+      if (!q_.spec.projections.empty() && q_.spec.projections != pushdown) {
+        Fail("Project('" + q_.spec.projections.front() +
+             "', ...) conflicts with GroupBy(): a grouped query returns "
+             "the group key and aggregate columns only (remove Project())");
+        break;
+      }
+      q_.spec.projections = std::move(pushdown);
+      break;
+    }
     case ConsumeKind::kForEach:
       if (!q_.consume.visitor) {
         Fail("ForEach() requires a visitor");

@@ -41,9 +41,40 @@ enum class ConsumeKind {
   /// merged result: per-partition columns are visited in partition order
   /// (sequentially, on the calling thread) and never concatenated.
   kForEach,
+  /// Grouped aggregation: per-group folds keyed by one group attribute,
+  /// pushed below the partition merge exactly like kAggregate — partitions
+  /// build local hash tables under their own locks, the merge combines
+  /// partial tables on the caller thread, and no tuple is reconstructed.
+  kGroupBy,
 };
 
-enum class AggregateOp { kSum, kMin, kMax };
+/// kCount is grouped-only (per-group cardinality via
+/// GroupBy().Aggregate(kCount, ...)); a scalar cardinality query is
+/// Count(), and the builder rejects kCount in scalar position.
+enum class AggregateOp { kSum, kMin, kMax, kCount };
+
+/// One per-group aggregate of a grouped query: the fold op plus the
+/// attribute it folds. kCount never fetches a value; its attribute is a
+/// placeholder that must still name an existing column (and, like every
+/// aggregate attribute, must not duplicate the group key).
+struct GroupAggregate {
+  AggregateOp op = AggregateOp::kSum;
+  std::string attr;
+};
+
+/// Columnar result of a grouped aggregation: one entry per group. Inside
+/// the engines this is an *unordered partial* (hash-table emission order);
+/// the finalized ExecuteResult table is sorted by group key ascending so
+/// answers compare across engines and partitionings regardless of row
+/// order. `aggregates[a]` parallels ConsumeSpec::group_aggs[a]; kCount
+/// columns are filled from `counts` at finalize time.
+struct GroupedTable {
+  std::vector<Value> keys;
+  std::vector<uint64_t> counts;
+  std::vector<std::vector<Value>> aggregates;
+
+  size_t num_groups() const { return keys.size(); }
+};
 
 /// Receives one qualifying row; values align with the query's projections.
 /// The span is only valid for the duration of the call.
@@ -52,9 +83,11 @@ using RowVisitor = std::function<void(std::span<const Value> row)>;
 /// The terminal of a query: which ConsumeKind, plus its parameters.
 struct ConsumeSpec {
   ConsumeKind kind = ConsumeKind::kMaterialize;
-  AggregateOp op = AggregateOp::kSum;  // kAggregate
-  std::string attr;                    // kAggregate: the folded attribute
-  RowVisitor visitor;                  // kForEach
+  AggregateOp op = AggregateOp::kSum;      // kAggregate
+  std::string attr;                        // kAggregate: the folded attribute
+  RowVisitor visitor;                      // kForEach
+  std::string group_attr;                  // kGroupBy: the group key
+  std::vector<GroupAggregate> group_aggs;  // kGroupBy: the per-group folds
 
   static ConsumeSpec Materialize() { return {}; }
   static ConsumeSpec Count() {
@@ -75,6 +108,14 @@ struct ConsumeSpec {
     c.visitor = std::move(visitor);
     return c;
   }
+  static ConsumeSpec GroupBy(std::string attr,
+                             std::vector<GroupAggregate> aggs) {
+    ConsumeSpec c;
+    c.kind = ConsumeKind::kGroupBy;
+    c.group_attr = std::move(attr);
+    c.group_aggs = std::move(aggs);
+    return c;
+  }
 };
 
 /// Scalar outcome of a pushed-down consumption (SelectionHandle::Consume).
@@ -84,6 +125,9 @@ struct ConsumeOutcome {
   /// False iff no qualifying row contributed (min/max are undefined then;
   /// a sum over zero rows reports aggregate == 0 with valid == false).
   bool aggregate_valid = false;
+  /// kGroupBy: the unordered partial table (hash emission order); the
+  /// executor sorts it (or merges it across shards) into the final table.
+  GroupedTable groups;
 };
 
 /// Kernel-layer fold op for an AggregateOp. The enums mirror each other;
@@ -96,6 +140,10 @@ inline kernels::FoldOp ToFoldOp(AggregateOp op) {
       return kernels::FoldOp::kMin;
     case AggregateOp::kMax:
       return kernels::FoldOp::kMax;
+    case AggregateOp::kCount:
+      // Grouped-only: counts are tracked by the group accumulator's id
+      // pass and never reach a fold kernel.
+      break;
   }
   return kernels::FoldOp::kSum;
 }
@@ -123,6 +171,8 @@ inline void FoldValue(AggregateOp op, Value v, Value* acc, bool* valid) {
     case AggregateOp::kMax:
       *acc = std::max(*acc, v);
       break;
+    case AggregateOp::kCount:
+      break;  // grouped-only; unreachable in scalar folds.
   }
 }
 
@@ -149,6 +199,8 @@ void FoldIndexed(AggregateOp op, size_t n, GetFn get, Value* acc,
     case AggregateOp::kMax:
       for (size_t i = 1; i < n; ++i) result = std::max(result, get(i));
       break;
+    case AggregateOp::kCount:
+      return;  // grouped-only; unreachable in scalar folds.
   }
   FoldValue(op, result, acc, valid);
 }
@@ -170,7 +222,9 @@ struct ExecuteResult {
   /// qualified (aggregate is 0 then).
   Value aggregate = 0;
   bool aggregate_valid = false;
-  /// This query's own cost delta. Count/Aggregate queries report
+  /// kGroupBy: the finalized grouped table, sorted by group key ascending.
+  GroupedTable groups;
+  /// This query's own cost delta. Count/Aggregate/GroupBy queries report
   /// reconstruct_micros == 0: they never reconstruct a tuple.
   CostBreakdown cost;
 };
@@ -238,6 +292,9 @@ struct Query {
 ///   db.From("t").Where("a", lo, hi).Count().Execute();
 ///   db.From("t").Where("a", lo, hi)
 ///       .Aggregate(AggregateOp::kSum, "b").Execute();
+///   db.From("t").Where("a", lo, hi).GroupBy("g")
+///       .Aggregate(AggregateOp::kSum, "b")
+///       .Aggregate(AggregateOp::kCount, "b").Execute();
 ///
 /// Predicates are validated as they are added (inverted ranges, empty
 /// attribute names, mixed Where/OrWhere connectives) and the terminal is
@@ -300,8 +357,22 @@ class QueryBuilder {
     q_.consume = ConsumeSpec::Count();
     return *this;
   }
+  /// After GroupBy(): appends one per-group fold (kCount|kSum|kMin|kMax)
+  /// to the grouped terminal. Otherwise: the scalar fold terminal
+  /// (kCount is rejected at Build time in scalar position — use Count()).
   QueryBuilder& Aggregate(AggregateOp op, std::string attr) {
-    q_.consume = ConsumeSpec::Aggregate(op, std::move(attr));
+    if (q_.consume.kind == ConsumeKind::kGroupBy) {
+      q_.consume.group_aggs.push_back({op, std::move(attr)});
+    } else {
+      q_.consume = ConsumeSpec::Aggregate(op, std::move(attr));
+    }
+    return *this;
+  }
+  /// Grouped terminal: per-group hash aggregation keyed by `attr`. Follow
+  /// with one Aggregate() per requested fold. Like every terminal, the
+  /// last call wins — a later GroupBy() resets the aggregate list.
+  QueryBuilder& GroupBy(std::string attr) {
+    q_.consume = ConsumeSpec::GroupBy(std::move(attr), {});
     return *this;
   }
   QueryBuilder& ForEach(RowVisitor visitor) {

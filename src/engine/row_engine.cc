@@ -1,6 +1,7 @@
 #include "engine/row_engine.h"
 
 #include "common/timer.h"
+#include "engine/group_table.h"
 #include "engine/query.h"
 
 namespace crackdb {
@@ -43,6 +44,28 @@ class RowHandle : public SelectionHandle {
           consume.op, rows_.size(),
           [this, col](size_t i) { return store_->At(rows_[i], col); },
           &out.aggregate, &out.aggregate_valid);
+      return out;
+    }
+    if (consume.kind == ConsumeKind::kGroupBy) {
+      // Grouped fast path: one record visit per matching row folds the
+      // key and every aggregate — NSM's whole-tuple locality at work.
+      GroupAccumulator acc(consume);
+      const size_t gcol = store_->ColumnOrdinal(consume.group_attr);
+      std::vector<size_t> acols(consume.group_aggs.size(), 0);
+      for (size_t a = 0; a < consume.group_aggs.size(); ++a) {
+        if (consume.group_aggs[a].op == AggregateOp::kCount) continue;
+        acols[a] = store_->ColumnOrdinal(consume.group_aggs[a].attr);
+      }
+      for (uint32_t r : rows_) {
+        const uint32_t id = acc.AddRowKey(store_->At(r, gcol));
+        for (size_t a = 0; a < consume.group_aggs.size(); ++a) {
+          if (consume.group_aggs[a].op == AggregateOp::kCount) continue;
+          acc.FoldInto(a, id, store_->At(r, acols[a]));
+        }
+      }
+      ConsumeOutcome out;
+      out.count = rows_.size();
+      out.groups = acc.Take();
       return out;
     }
     return SelectionHandle::Consume(consume, projections);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/group_table.h"
 #include "engine/query.h"
 #include "kernels/kernels.h"
 
@@ -48,6 +49,24 @@ class CrackedKeysHandle : public SelectionHandle {
       kernels::FoldGather(ToFoldOp(consume.op), column.values().data(),
                           keys_.data(), keys_.size(), &out.aggregate,
                           &out.aggregate_valid);
+      return out;
+    }
+    if (consume.kind == ConsumeKind::kGroupBy) {
+      // Grouped fast path: gather the group keys and fold the aggregate
+      // columns through the cracked-order key list in place.
+      GroupAccumulator acc(consume);
+      std::vector<const Value*> columns;
+      columns.reserve(consume.group_aggs.size());
+      for (const GroupAggregate& agg : consume.group_aggs) {
+        columns.push_back(agg.op == AggregateOp::kCount
+                              ? nullptr
+                              : relation_->column(agg.attr).values().data());
+      }
+      acc.AddChunk(relation_->column(consume.group_attr).values().data(),
+                   keys_.data(), keys_.size(), columns);
+      ConsumeOutcome out;
+      out.count = keys_.size();
+      out.groups = acc.Take();
       return out;
     }
     return SelectionHandle::Consume(consume, projections);

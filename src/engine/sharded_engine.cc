@@ -6,6 +6,7 @@
 #include <shared_mutex>
 
 #include "common/timer.h"
+#include "engine/group_table.h"
 
 namespace crackdb {
 
@@ -73,6 +74,28 @@ class ShardedHandle : public SelectionHandle {
         FoldSpan(consume.op, shard[slot], &out.aggregate,
                  &out.aggregate_valid);
       }
+      return out;
+    }
+    if (consume.kind == ConsumeKind::kGroupBy) {
+      const size_t gslot = ProjectionSlot(consume.group_attr);
+      std::vector<size_t> agg_slots(consume.group_aggs.size(), 0);
+      for (size_t a = 0; a < consume.group_aggs.size(); ++a) {
+        if (consume.group_aggs[a].op == AggregateOp::kCount) continue;
+        agg_slots[a] = ProjectionSlot(consume.group_aggs[a].attr);
+      }
+      GroupAccumulator acc(consume);
+      std::vector<const Value*> columns(consume.group_aggs.size(), nullptr);
+      for (const std::vector<std::vector<Value>>& shard : shard_columns_) {
+        for (size_t a = 0; a < consume.group_aggs.size(); ++a) {
+          columns[a] = consume.group_aggs[a].op == AggregateOp::kCount
+                           ? nullptr
+                           : shard[agg_slots[a]].data();
+        }
+        acc.AddChunk(shard[gslot].data(), nullptr, shard[gslot].size(),
+                     columns);
+      }
+      out.count = prefix_.back();
+      out.groups = acc.Take();
       return out;
     }
     if (consume.kind == ConsumeKind::kForEach) {
@@ -265,16 +288,19 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
           // integer. No attribute is fetched, no reconstruction happens.
           shard.num_rows = handle->NumRows();
           break;
-        case ConsumeKind::kAggregate: {
+        case ConsumeKind::kAggregate:
+        case ConsumeKind::kGroupBy: {
           // Partition-local fold under the partition's own lock; the
-          // merge will combine scalars. The fold is selection-side work
+          // merge will combine scalars (kAggregate) or partial hash
+          // tables (kGroupBy). Either fold is selection-side work
           // (reconstruct stays 0 — no tuple reaches the caller).
           Timer fold_timer;
-          const ConsumeOutcome out =
+          ConsumeOutcome out =
               handle->Consume(consumes[sub.spec_index], spec.projections);
           shard.num_rows = out.count;
           shard.aggregate = out.aggregate;
           shard.aggregate_valid = out.aggregate_valid;
+          shard.groups = std::move(out.groups);
           shard.cost.select_micros += fold_timer.ElapsedMicros();
           break;
         }
@@ -444,6 +470,27 @@ ExecuteResult ShardedEngine::MergeExecute(const QuerySpec& spec,
         }
       }
       break;
+    case ConsumeKind::kGroupBy: {
+      // The two-level merge: combine the per-partition partial tables on
+      // the calling thread, outside every lock, then finalize (sort by
+      // group key, fill kCount columns). Like the scalar merge this is
+      // selection-side work — no tuple reconstruction crosses the merge,
+      // so reconstruct_micros stays exactly 0.
+      Timer merge_timer;
+      GroupAccumulator acc(consume);
+      for (const ShardResult& shard : shards) {
+        result.count += shard.num_rows;
+        acc.Merge(shard.groups);
+      }
+      result.groups = FinalizeGrouped(consume, acc.Take());
+      const double merge_elapsed = merge_timer.ElapsedMicros();
+      result.cost.select_micros += merge_elapsed;
+      {
+        std::lock_guard<std::mutex> lock(cost_mu_);
+        cost_.select_micros += merge_elapsed;
+      }
+      break;
+    }
     case ConsumeKind::kForEach: {
       // Stream the per-partition materializations through the visitor in
       // partition order, sequentially, on the calling thread, outside

@@ -72,9 +72,11 @@ class ShardedEngine : public Engine {
 
   /// Consumption-mode execution with the pushdown below the partition
   /// merge: Count/Aggregate queries compute partial scalars inside each
-  /// partition's lock and the merge combines scalars — no tuple data
-  /// crosses the merge at all, and the result's CostBreakdown attributes
-  /// exactly zero reconstruction. ForEach materializes per partition
+  /// partition's lock and the merge combines scalars, GroupBy queries
+  /// build partial hash-aggregation tables inside the locks and the merge
+  /// combines partial tables — no tuple data crosses the merge at all,
+  /// and the result's CostBreakdown attributes exactly zero
+  /// reconstruction. ForEach materializes per partition
   /// inside the locks (the sharded lifetime contract) but skips the
   /// cross-partition concatenation: the visitor walks the per-partition
   /// columns in partition order, sequentially, on the calling thread.
@@ -137,6 +139,10 @@ class ShardedEngine : public Engine {
     /// Scalar consumption partials (kCount/kAggregate sub-queries).
     Value aggregate = 0;
     bool aggregate_valid = false;
+    /// Grouped consumption partial (kGroupBy sub-queries): this
+    /// partition's local hash-aggregation table, built under its lock; the
+    /// merge combines partials on the caller thread.
+    GroupedTable groups;
     /// This sub-query's cost attribution on its partition.
     CostBreakdown cost;
   };

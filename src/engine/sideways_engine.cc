@@ -29,6 +29,10 @@ class SidewaysHandle : public SelectionHandle {
     return query_.FetchTailAt(attr, ordinals);
   }
 
+  // The scalar and grouped fold pushdowns (SelectionHandle::Consume) ride
+  // these views: for single-head-predicate queries the group key and every
+  // aggregate attribute are contiguous areas of aligned cracker maps, so a
+  // GroupBy folds straight off the map pair with zero copies.
   std::span<const Value> FetchView(const std::string& attr,
                                    std::vector<Value>* storage) override {
     bool ok = false;

@@ -32,7 +32,9 @@ namespace crackdb::kernels::detail {
   void FoldGather_##arm(FoldOp op, const Value* values, const Key* keys,    \
                         size_t n, Value* acc, bool* valid);                 \
   void Gather_##arm(const Value* values, const Key* keys, size_t n,         \
-                    Value* out)
+                    Value* out);                                            \
+  void FoldGroup_##arm(FoldOp op, const Value* values, const Key* keys,     \
+                       const uint32_t* group_of, size_t n, Value* accs)
 
 CRACKDB_DECLARE_ARM(Scalar);
 CRACKDB_DECLARE_ARM(Sse2);

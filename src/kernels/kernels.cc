@@ -12,7 +12,7 @@ namespace {
         detail::CountRange_##arm, detail::SelectRange_##arm,             \
         detail::FilterKeys_##arm, detail::MatchBitmap_##arm,             \
         detail::FoldSpan_##arm, detail::FoldGather_##arm,                \
-        detail::Gather_##arm                                             \
+        detail::Gather_##arm, detail::FoldGroup_##arm                    \
   }
 
 constexpr KernelTable kScalarTable = CRACKDB_ARM_TABLE(Scalar);

@@ -103,6 +103,16 @@ struct KernelTable {
   /// out[i] = values[keys[i]] for i in [0, n). `out` must hold n values
   /// and must not alias `values`.
   void (*gather)(const Value* values, const Key* keys, size_t n, Value* out);
+
+  /// Grouped fold (key-gather + accumulate): folds
+  /// values[keys ? keys[i] : i] into accs[group_of[i]] for i in [0, n).
+  /// The caller pre-initializes accs (0 for sums, kMaxValue/kMinValue for
+  /// min/max) and guarantees every group_of[i] indexes a valid slot;
+  /// repeated group ids within any distance are folded correctly (the
+  /// AVX2 arm scatters accumulator updates scalar-wise, so intra-vector
+  /// group-id conflicts cannot lose updates).
+  void (*fold_group)(FoldOp op, const Value* values, const Key* keys,
+                     const uint32_t* group_of, size_t n, Value* accs);
 };
 
 /// The named arm's table. Always valid: on CPUs (or builds) without an
@@ -164,6 +174,11 @@ inline void FoldGather(FoldOp op, const Value* values, const Key* keys,
 inline void Gather(const Value* values, const Key* keys, size_t n,
                    Value* out) {
   Active().gather(values, keys, n, out);
+}
+
+inline void FoldGroup(FoldOp op, const Value* values, const Key* keys,
+                      const uint32_t* group_of, size_t n, Value* accs) {
+  Active().fold_group(op, values, keys, group_of, n, accs);
 }
 
 }  // namespace crackdb::kernels

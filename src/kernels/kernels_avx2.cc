@@ -510,6 +510,62 @@ CRACKDB_AVX2 void Gather_Avx2(const Value* values, const Key* keys, size_t n,
   for (; i < n; ++i) out[i] = values[keys[i]];
 }
 
+CRACKDB_AVX2 void FoldGroup_Avx2(FoldOp op, const Value* values,
+                                 const Key* keys, const uint32_t* group_of,
+                                 size_t n, Value* accs) {
+  if (keys == nullptr || n < 8) {
+    // Contiguous inputs gain nothing over the auto-vectorized scalar loop
+    // (the accumulate side scatters either way); tiny inputs skip setup.
+    FoldGroup_Scalar(op, values, keys, group_of, n, accs);
+    return;
+  }
+  // The win is the 4-wide value gather; accumulator updates scatter
+  // scalar-wise because group ids may repeat within one vector (a SIMD
+  // scatter would lose all but the last conflicting lane).
+  alignas(32) int64_t lanes[4];
+  size_t i = 0;
+  switch (op) {
+    case FoldOp::kSum:
+      for (; i + 4 <= n; i += 4) {
+        const __m128i kv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                           GatherValues(values, kv));
+        for (size_t l = 0; l < 4; ++l) {
+          Value& acc = accs[group_of[i + l]];
+          acc = static_cast<Value>(static_cast<uint64_t>(acc) +
+                                   static_cast<uint64_t>(lanes[l]));
+        }
+      }
+      break;
+    case FoldOp::kMin:
+      for (; i + 4 <= n; i += 4) {
+        const __m128i kv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                           GatherValues(values, kv));
+        for (size_t l = 0; l < 4; ++l) {
+          Value& acc = accs[group_of[i + l]];
+          acc = std::min(acc, lanes[l]);
+        }
+      }
+      break;
+    case FoldOp::kMax:
+      for (; i + 4 <= n; i += 4) {
+        const __m128i kv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                           GatherValues(values, kv));
+        for (size_t l = 0; l < 4; ++l) {
+          Value& acc = accs[group_of[i + l]];
+          acc = std::max(acc, lanes[l]);
+        }
+      }
+      break;
+  }
+  FoldGroup_Scalar(op, values, keys + i, group_of + i, n - i, accs);
+}
+
 }  // namespace crackdb::kernels::detail
 
 #else  // !CRACKDB_AVX2_ARM
@@ -553,6 +609,10 @@ void FoldGather_Avx2(FoldOp op, const Value* values, const Key* keys,
 }
 void Gather_Avx2(const Value* values, const Key* keys, size_t n, Value* out) {
   Gather_Sse2(values, keys, n, out);
+}
+void FoldGroup_Avx2(FoldOp op, const Value* values, const Key* keys,
+                    const uint32_t* group_of, size_t n, Value* accs) {
+  FoldGroup_Sse2(op, values, keys, group_of, n, accs);
 }
 
 }  // namespace crackdb::kernels::detail

@@ -199,4 +199,33 @@ void Gather_Scalar(const Value* values, const Key* keys, size_t n,
   for (size_t i = 0; i < n; ++i) out[i] = values[keys[i]];
 }
 
+void FoldGroup_Scalar(FoldOp op, const Value* values, const Key* keys,
+                      const uint32_t* group_of, size_t n, Value* accs) {
+  switch (op) {
+    case FoldOp::kSum:
+      for (size_t i = 0; i < n; ++i) {
+        const Value v = values[keys != nullptr ? keys[i] : i];
+        Value& acc = accs[group_of[i]];
+        // Unsigned accumulation: wraparound is defined and arm-identical.
+        acc = static_cast<Value>(static_cast<uint64_t>(acc) +
+                                 static_cast<uint64_t>(v));
+      }
+      break;
+    case FoldOp::kMin:
+      for (size_t i = 0; i < n; ++i) {
+        const Value v = values[keys != nullptr ? keys[i] : i];
+        Value& acc = accs[group_of[i]];
+        acc = std::min(acc, v);
+      }
+      break;
+    case FoldOp::kMax:
+      for (size_t i = 0; i < n; ++i) {
+        const Value v = values[keys != nullptr ? keys[i] : i];
+        Value& acc = accs[group_of[i]];
+        acc = std::max(acc, v);
+      }
+      break;
+  }
+}
+
 }  // namespace crackdb::kernels::detail

@@ -201,4 +201,9 @@ void Gather_Sse2(const Value* values, const Key* keys, size_t n, Value* out) {
   Gather_Scalar(values, keys, n, out);
 }
 
+void FoldGroup_Sse2(FoldOp op, const Value* values, const Key* keys,
+                    const uint32_t* group_of, size_t n, Value* accs) {
+  FoldGroup_Scalar(op, values, keys, group_of, n, accs);
+}
+
 }  // namespace crackdb::kernels::detail

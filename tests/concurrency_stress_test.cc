@@ -12,9 +12,11 @@
 
 #include <atomic>
 #include <future>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util/workload.h"
@@ -278,6 +280,73 @@ TEST_P(ConcurrencyStressTest, BatchedAsyncStormEqualsSerialReplay) {
         << "replayed batched query " << q;
   }
   EXPECT_EQ(db_->Stats("R").live_rows, source_->num_live_rows());
+}
+
+// The grouped-aggregation storm: 4 client threads hammer the same sharded
+// table with randomized GroupBy queries — per-partition hash aggregation
+// under the partition locks, partial-table merges on each client thread —
+// while the crackers reorganize underneath. The source is immutable in
+// this phase, so every concurrent answer must equal a per-thread std::map
+// oracle folded from a plain reference scan. Runs under TSan in CI.
+TEST_P(ConcurrencyStressTest, ConcurrentGroupedQueriesMatchOracle) {
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kThreads);
+  for (size_t tid = 0; tid < kThreads; ++tid) {
+    clients.emplace_back([this, tid, &failures] {
+      Rng rng(3100 + tid);
+      PlainEngine reference(*source_);  // source is immutable in this phase
+      for (int q = 0; q < 20; ++q) {
+        const RangePredicate pred =
+            bench::RandomRange(&rng, 1, kDomain, 0.25);
+        // Map oracle over the reference's materialized rows.
+        QuerySpec ref_spec;
+        ref_spec.selections = {{AttrName(1), pred}};
+        ref_spec.projections = {AttrName(3), AttrName(4)};
+        const QueryResult ref = reference.Run(ref_spec);
+        std::map<Value, std::pair<uint64_t, Value>> oracle;  // count, sum
+        for (size_t r = 0; r < ref.num_rows; ++r) {
+          auto& slot = oracle[ref.columns[0][r]];
+          slot.first += 1;
+          slot.second = static_cast<Value>(
+              static_cast<uint64_t>(slot.second) +
+              static_cast<uint64_t>(ref.columns[1][r]));
+        }
+
+        auto got = db_->From("R")
+                       .Where(AttrName(1), pred)
+                       .GroupBy(AttrName(3))
+                       .Aggregate(AggregateOp::kSum, AttrName(4))
+                       .Aggregate(AggregateOp::kCount, AttrName(4))
+                       .Execute();
+        if (!got.ok()) {
+          failures[tid] = "thread " + std::to_string(tid) + " query " +
+                          std::to_string(q) + " failed: " + got.error();
+          return;
+        }
+        bool match = got->groups.num_groups() == oracle.size() &&
+                     got->cost.reconstruct_micros == 0;
+        size_t gi = 0;
+        for (const auto& [key, cs] : oracle) {
+          if (!match) break;
+          match = got->groups.keys[gi] == key &&
+                  got->groups.counts[gi] == cs.first &&
+                  got->groups.aggregates[0][gi] == cs.second &&
+                  got->groups.aggregates[1][gi] ==
+                      static_cast<Value>(cs.first);
+          ++gi;
+        }
+        if (!match) {
+          failures[tid] = "thread " + std::to_string(tid) + " grouped query " +
+                          std::to_string(q) + " diverged from the map oracle";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
 }
 
 TEST_P(ConcurrencyStressTest, SnapshotsRunConcurrentlyWithTraffic) {

@@ -1,19 +1,22 @@
 // Long-horizon differential fuzzing: every engine against the plain scan
 // reference over randomized mixed workloads — conjunctions, disjunctions,
 // point queries, empty ranges, full-domain scans, projections of selection
-// attributes, inserts, deletes — in one interleaved stream. This is the
-// broadest single check of DESIGN.md invariant 3 and exists to catch
-// cross-feature interactions the focused suites miss.
+// attributes, grouped aggregations, inserts, deletes — in one interleaved
+// stream. This is the broadest single check of DESIGN.md invariant 3 and
+// exists to catch cross-feature interactions the focused suites miss.
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "bench_util/workload.h"
 #include "common/rng.h"
 #include "engine/partial_engine.h"
 #include "engine/plain_engine.h"
+#include "engine/query.h"
 #include "engine/presorted_engine.h"
 #include "engine/row_engine.h"
 #include "engine/selection_cracking_engine.h"
@@ -73,6 +76,52 @@ QuerySpec RandomSpec(Rng* rng, Value domain, size_t num_attrs,
   return spec;
 }
 
+/// Folds the reference engine's materialized (group, value) rows into a
+/// sorted map and checks an engine's GroupBy pushdown against it: same
+/// keys ascending, same counts, same sum/min columns.
+void CheckGroupedAgainstOracle(Engine* engine, const char* name,
+                               PlainEngine* reference, QuerySpec spec,
+                               const std::string& group_attr,
+                               const std::string& value_attr, int step) {
+  spec.projections = {group_attr, value_attr};
+  const ConsumeSpec consume = ConsumeSpec::GroupBy(
+      group_attr, {{AggregateOp::kSum, value_attr},
+                   {AggregateOp::kMin, value_attr},
+                   {AggregateOp::kCount, value_attr}});
+  struct OracleGroup {
+    uint64_t count = 0;
+    Value sum = 0;
+    Value min = kMaxValue;
+  };
+  const QueryResult ref = reference->Run(spec);
+  std::map<Value, OracleGroup> oracle;
+  for (size_t r = 0; r < ref.num_rows; ++r) {
+    OracleGroup& g = oracle[ref.columns[0][r]];
+    const Value v = ref.columns[1][r];
+    g.count += 1;
+    g.sum = static_cast<Value>(static_cast<uint64_t>(g.sum) +
+                               static_cast<uint64_t>(v));
+    g.min = std::min(g.min, v);
+  }
+
+  const ExecuteResult got = engine->Execute(spec, consume);
+  ASSERT_EQ(got.groups.num_groups(), oracle.size())
+      << name << " step " << step;
+  size_t gi = 0;
+  for (const auto& [key, og] : oracle) {
+    ASSERT_EQ(got.groups.keys[gi], key) << name << " step " << step;
+    ASSERT_EQ(got.groups.counts[gi], og.count)
+        << name << " step " << step << " key " << key;
+    ASSERT_EQ(got.groups.aggregates[0][gi], og.sum)
+        << name << " step " << step << " key " << key;
+    ASSERT_EQ(got.groups.aggregates[1][gi], og.min)
+        << name << " step " << step << " key " << key;
+    ASSERT_EQ(got.groups.aggregates[2][gi], static_cast<Value>(og.count))
+        << name << " step " << step << " key " << key;
+    ++gi;
+  }
+}
+
 TEST_P(FuzzDifferentialTest, AllEnginesAgreeOverMixedStream) {
   const FuzzParam p = GetParam();
   Catalog catalog;
@@ -111,6 +160,30 @@ TEST_P(FuzzDifferentialTest, AllEnginesAgreeOverMixedStream) {
           << "partial step " << step;
     }
     ASSERT_EQ(ZipRows(row.Run(spec)), expected) << "row step " << step;
+
+    // Every third step, the same predicate shape runs as a randomized
+    // grouped aggregation: a GroupBy pushdown on every engine against the
+    // std::map oracle folded from the reference scan.
+    if (step % 3 == 0) {
+      const size_t g_attr =
+          1 + static_cast<size_t>(
+                  rng.Uniform(0, static_cast<Value>(num_attrs) - 1));
+      const size_t v_attr = g_attr == num_attrs ? 1 : g_attr + 1;
+      const std::string group_attr = AttrName(g_attr);
+      const std::string value_attr = AttrName(v_attr);
+      CheckGroupedAgainstOracle(&presorted, "presorted", &reference, spec,
+                                group_attr, value_attr, step);
+      CheckGroupedAgainstOracle(&cracking, "selection-cracking", &reference,
+                                spec, group_attr, value_attr, step);
+      CheckGroupedAgainstOracle(&sideways, "sideways", &reference, spec,
+                                group_attr, value_attr, step);
+      if (!spec.disjunctive) {
+        CheckGroupedAgainstOracle(&partial, "partial", &reference, spec,
+                                  group_attr, value_attr, step);
+      }
+      CheckGroupedAgainstOracle(&row, "row", &reference, spec, group_attr,
+                                value_attr, step);
+    }
   }
 }
 

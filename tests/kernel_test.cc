@@ -405,6 +405,104 @@ TEST(KernelFoldTest, EmptyFoldLeavesAccumulatorUntouched) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// fold_group: the grouped-fold kernel, scalar arm as the spec
+// ---------------------------------------------------------------------------
+
+Value InitAcc(FoldOp op) {
+  switch (op) {
+    case FoldOp::kSum:
+      return 0;
+    case FoldOp::kMin:
+      return kMaxValue;
+    case FoldOp::kMax:
+      return kMinValue;
+  }
+  return 0;
+}
+
+TEST(KernelFoldGroupTest, FoldGroupMatchesScalarReference) {
+  Rng rng(67);
+  const Value domain = 1'000'000;
+  // Group counts from one-group (maximum accumulator contention, the shape
+  // that breaks conflict-unsafe SIMD scatters) to more groups than rows.
+  const size_t group_counts[] = {1, 2, 3, 16, 257, 5000};
+  for (Isa arm : SimdArms()) {
+    const KernelTable& table = Table(arm);
+    for (size_t n : kSizes) {
+      const std::vector<Value> values = RandomValues(&rng, n + 3, domain);
+      std::vector<Key> keys(n);
+      for (size_t i = 0; i < n; ++i) keys[i] = static_cast<Key>(i);
+      for (size_t i = n; i > 1; --i) {
+        std::swap(keys[i - 1],
+                  keys[rng.Uniform(0, static_cast<Value>(i - 1))]);
+      }
+      for (size_t groups : group_counts) {
+        std::vector<uint32_t> group_of(n);
+        for (size_t i = 0; i < n; ++i) {
+          group_of[i] = static_cast<uint32_t>(
+              rng.Uniform(0, static_cast<Value>(groups) - 1));
+        }
+        for (FoldOp op : {FoldOp::kSum, FoldOp::kMin, FoldOp::kMax}) {
+          // Gathered (keys != nullptr) variant, fresh accumulators.
+          std::vector<Value> want(groups, InitAcc(op));
+          std::vector<Value> got = want;
+          Table(Isa::kScalar)
+              .fold_group(op, values.data(), keys.data(), group_of.data(), n,
+                          want.data());
+          table.fold_group(op, values.data(), keys.data(), group_of.data(),
+                           n, got.data());
+          EXPECT_EQ(got, want) << kernels::IsaName(arm) << " n=" << n
+                               << " groups=" << groups
+                               << " op=" << static_cast<int>(op);
+          // Contiguous (keys == nullptr) variant, pre-seeded accumulators:
+          // continuing a previous chunk's partials must agree too.
+          Table(Isa::kScalar)
+              .fold_group(op, values.data(), nullptr, group_of.data(), n,
+                          want.data());
+          table.fold_group(op, values.data(), nullptr, group_of.data(), n,
+                           got.data());
+          EXPECT_EQ(got, want) << kernels::IsaName(arm) << " n=" << n
+                               << " groups=" << groups << " contiguous";
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelFoldGroupTest, GroupedSumWrapsModulo64AcrossArms) {
+  // Grouped sums wrap modulo 2^64, like the scalar folds, so every arm
+  // agrees bit-for-bit even when a group's accumulator saturates.
+  const std::vector<Value> big(13, kMaxValue);
+  std::vector<Key> keys(big.size());
+  for (size_t i = 0; i < big.size(); ++i) keys[i] = static_cast<Key>(i);
+  std::vector<uint32_t> group_of(big.size());
+  for (size_t i = 0; i < big.size(); ++i) {
+    group_of[i] = static_cast<uint32_t>(i % 2);
+  }
+  std::vector<Value> want(2, 0);
+  Table(Isa::kScalar)
+      .fold_group(FoldOp::kSum, big.data(), keys.data(), group_of.data(),
+                  big.size(), want.data());
+  for (Isa arm : SimdArms()) {
+    std::vector<Value> got(2, 0);
+    Table(arm).fold_group(FoldOp::kSum, big.data(), keys.data(),
+                          group_of.data(), big.size(), got.data());
+    EXPECT_EQ(got, want) << kernels::IsaName(arm);
+  }
+}
+
+TEST(KernelFoldGroupTest, EmptyFoldGroupLeavesAccumulatorsUntouched) {
+  for (Isa arm : {Isa::kScalar, Isa::kSse2, Isa::kAvx2}) {
+    for (FoldOp op : {FoldOp::kSum, FoldOp::kMin, FoldOp::kMax}) {
+      std::vector<Value> accs = {11, 22, 33};
+      Table(arm).fold_group(op, nullptr, nullptr, nullptr, 0, accs.data());
+      EXPECT_EQ(accs, (std::vector<Value>{11, 22, 33}))
+          << kernels::IsaName(arm);
+    }
+  }
+}
+
 TEST(KernelGatherTest, GatherMatchesScalarReference) {
   Rng rng(59);
   for (Isa arm : SimdArms()) {
@@ -441,6 +539,9 @@ class KernelEngineEqualityTest : public ::testing::Test {
     std::vector<std::multiset<std::vector<Value>>> rows;
     std::vector<size_t> counts;
     std::vector<Value> aggregates;
+    /// One flattened {key, count, sum, kCount} sequence per grouped query;
+    /// the finalize contract (keys ascending) makes them comparable as-is.
+    std::vector<std::vector<Value>> groups;
   };
 
   /// The oracle matrix: materializing, counting, and aggregating query
@@ -496,6 +597,22 @@ class KernelEngineEqualityTest : public ::testing::Test {
         EXPECT_TRUE(agg.ok()) << agg.error();
         a.aggregates.push_back(agg->aggregate_valid ? agg->aggregate : -1);
       }
+      auto grouped = db.From("R")
+                         .Where(AttrName(1), lo, hi)
+                         .GroupBy(AttrName(3))
+                         .Aggregate(AggregateOp::kSum, AttrName(2))
+                         .Aggregate(AggregateOp::kCount, AttrName(2))
+                         .Execute();
+      EXPECT_TRUE(grouped.ok()) << grouped.error();
+      std::vector<Value> flat;
+      flat.reserve(grouped->groups.num_groups() * 4);
+      for (size_t g = 0; g < grouped->groups.num_groups(); ++g) {
+        flat.push_back(grouped->groups.keys[g]);
+        flat.push_back(static_cast<Value>(grouped->groups.counts[g]));
+        flat.push_back(grouped->groups.aggregates[0][g]);
+        flat.push_back(grouped->groups.aggregates[1][g]);
+      }
+      a.groups.push_back(std::move(flat));
     }
     return a;
   }
@@ -519,6 +636,7 @@ TEST_F(KernelEngineEqualityTest, AllEnginesAnswerIdenticallyOnEveryArm) {
     }
     EXPECT_EQ(scalar.counts, active.counts) << entry.name;
     EXPECT_EQ(scalar.aggregates, active.aggregates) << entry.name;
+    EXPECT_EQ(scalar.groups, active.groups) << entry.name;
   }
 }
 

@@ -235,6 +235,109 @@ TEST_F(QueryApiTest, ForEachWithoutVisitorOrProjectionIsAnError) {
   EXPECT_FALSE(no_projection.Build().error.empty());
 }
 
+// The grouped-terminal validation matrix. Regression coverage for the
+// latent gap the GroupBy terminal closed: the builder must reject an
+// aggregate attribute that duplicates the group key, and an explicit
+// Project() list that conflicts with the grouped pushdown (the grouped
+// result only ever carries the key and aggregate columns, so the
+// projection's attrs would be silently cleared).
+TEST_F(QueryApiTest, GroupByAggregateOfGroupKeyIsAnError) {
+  QueryBuilder builder;
+  builder.Where(AttrName(1), 1, 100)
+      .GroupBy(AttrName(2))
+      .Aggregate(AggregateOp::kSum, AttrName(2));
+  const Query compiled = builder.Build();
+  EXPECT_NE(compiled.error.find("duplicates the group key"),
+            std::string::npos)
+      << compiled.error;
+
+  // The same rejection through the Database path (hand-built queries get
+  // identical validation).
+  auto db = MakeDb("plain");
+  auto result = db->From("R")
+                    .Where(AttrName(1), 1, 100)
+                    .GroupBy(AttrName(2))
+                    .Aggregate(AggregateOp::kCount, AttrName(2))
+                    .Execute();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("duplicates the group key"),
+            std::string::npos)
+      << result.error();
+}
+
+TEST_F(QueryApiTest, GroupByProjectConflictIsAnError) {
+  QueryBuilder builder;
+  builder.Where(AttrName(1), 1, 100)
+      .Project(AttrName(4))
+      .GroupBy(AttrName(2))
+      .Aggregate(AggregateOp::kSum, AttrName(3));
+  const Query compiled = builder.Build();
+  EXPECT_NE(compiled.error.find("conflicts with GroupBy()"),
+            std::string::npos)
+      << compiled.error;
+}
+
+TEST_F(QueryApiTest, GroupByWithoutKeyOrAggregatesIsAnError) {
+  QueryBuilder no_aggs;
+  no_aggs.Where(AttrName(1), 1, 100).GroupBy(AttrName(2));
+  EXPECT_NE(no_aggs.Build().error.find("at least one Aggregate()"),
+            std::string::npos);
+
+  QueryBuilder no_key;
+  no_key.Where(AttrName(1), 1, 100)
+      .GroupBy("")
+      .Aggregate(AggregateOp::kSum, AttrName(2));
+  EXPECT_FALSE(no_key.Build().error.empty());
+}
+
+TEST_F(QueryApiTest, ScalarKCountAggregateIsAnError) {
+  // kCount only makes sense per group; the scalar cardinality terminal is
+  // Count().
+  QueryBuilder builder;
+  builder.Where(AttrName(1), 1, 100)
+      .Aggregate(AggregateOp::kCount, AttrName(2));
+  const Query compiled = builder.Build();
+  EXPECT_NE(compiled.error.find("grouped-only"), std::string::npos)
+      << compiled.error;
+}
+
+TEST_F(QueryApiTest, GroupByUnknownAttributesAreErrors) {
+  auto db = MakeDb("plain");
+  auto bad_key = db->From("R")
+                     .Where(AttrName(1), 1, 100)
+                     .GroupBy("ghost")
+                     .Aggregate(AggregateOp::kSum, AttrName(2))
+                     .Execute();
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_NE(bad_key.error().find("unknown attribute 'ghost'"),
+            std::string::npos);
+
+  auto bad_agg = db->From("R")
+                     .Where(AttrName(1), 1, 100)
+                     .GroupBy(AttrName(2))
+                     .Aggregate(AggregateOp::kMax, "phantom")
+                     .Execute();
+  ASSERT_FALSE(bad_agg.ok());
+  EXPECT_NE(bad_agg.error().find("unknown attribute 'phantom'"),
+            std::string::npos);
+}
+
+TEST_F(QueryApiTest, GroupByCompilesToDedupedPushdownProjection) {
+  QueryBuilder builder;
+  builder.Where(AttrName(1), 1, 100)
+      .GroupBy(AttrName(2))
+      .Aggregate(AggregateOp::kSum, AttrName(3))
+      .Aggregate(AggregateOp::kMin, AttrName(3))
+      .Aggregate(AggregateOp::kCount, AttrName(4));
+  const Query compiled = builder.Build();
+  EXPECT_TRUE(compiled.error.empty()) << compiled.error;
+  EXPECT_EQ(compiled.consume.kind, ConsumeKind::kGroupBy);
+  // The key once, each folded attribute once; the kCount placeholder attr
+  // is never fetched so it is not declared.
+  EXPECT_EQ(compiled.spec.projections,
+            (std::vector<std::string>{AttrName(2), AttrName(3)}));
+}
+
 TEST_F(QueryApiTest, HandBuiltQueriesGetTheSameValidationAsBuilt) {
   // Query is a public aggregate; Execute must re-apply the builder's
   // terminal compile step so a hand-assembled query can never reach an

@@ -6,8 +6,10 @@
 #include "engine/plain_engine.h"
 #include "engine/presorted_engine.h"
 #include "engine/row_engine.h"
+#include "engine/query.h"
 #include "engine/selection_cracking_engine.h"
 #include "engine/sideways_engine.h"
+#include "tpch/schema.h"
 
 namespace crackdb::tpch {
 namespace {
@@ -103,6 +105,49 @@ TEST(TpchQueriesTest, Q1ProducesTheFourFlagStatusGroups) {
     ASSERT_EQ(row.size(), 7u);
     EXPECT_GT(row[6], 0);                // count
     EXPECT_GE(row[3], row[4]);           // base >= discounted
+  }
+}
+
+// The Q1-shaped grouped pushdown against a precomputed fixture: the SF
+// 0.01 generator is deterministic (seed 19920101), so the three
+// l_returnflag groups under shipdate <= 1998-09-02 have known quantities,
+// prices, and counts. Checked through the fluent path (RunQ1Grouped
+// compiles a GroupBy terminal) and through a hand-built raw
+// QuerySpec/ConsumeSpec on the engine directly — both must hit the
+// fixture exactly, on a scan engine and on a self-organizing one.
+TEST(TpchQueriesTest, Q1GroupedMatchesPrecomputedFixture) {
+  QueryParams p;
+  p.date1 = DateToDays(1998, 9, 2);
+  // {l_returnflag, sum(l_quantity), sum(l_extendedprice), count(*)}.
+  const TpchResult fixture = {
+      {0, 385947, 53870512803, 15114},
+      {1, 752119, 105502414636, 29478},
+      {2, 375170, 52476530501, 14753},
+  };
+
+  for (const char* kind : {"plain", "sideways"}) {
+    // Fluent path.
+    EngineSet es = MakeSet(kind);
+    EXPECT_EQ(RunQ1Grouped(Db(), es, p), fixture) << kind << " fluent";
+
+    // Raw QuerySpec path on the same (already cracked) engine.
+    QuerySpec spec;
+    spec.selections = {
+        {"l_shipdate", RangePredicate{kMinValue, p.date1, true, true}}};
+    spec.projections = {"l_returnflag", "l_quantity", "l_extendedprice"};
+    const ConsumeSpec consume = ConsumeSpec::GroupBy(
+        "l_returnflag", {{AggregateOp::kSum, "l_quantity"},
+                         {AggregateOp::kSum, "l_extendedprice"},
+                         {AggregateOp::kCount, "l_quantity"}});
+    const ExecuteResult raw = es.For("lineitem").Execute(spec, consume);
+    TpchResult raw_rows;
+    for (size_t g = 0; g < raw.groups.num_groups(); ++g) {
+      raw_rows.push_back({raw.groups.keys[g], raw.groups.aggregates[0][g],
+                          raw.groups.aggregates[1][g],
+                          raw.groups.aggregates[2][g]});
+    }
+    EXPECT_EQ(raw_rows, fixture) << kind << " raw spec";
+    EXPECT_EQ(raw.cost.reconstruct_micros, 0u) << kind;
   }
 }
 
