@@ -293,6 +293,10 @@ void Run(const BenchArgs& args, const GroupByOptions& opt) {
   }
   std::printf("# verification pushdown==map-oracle: ok\n");
 
+  // Storage footprint of the table in this bench's (raw) layout, so the
+  // JSON lines are comparable with bench_compression's encoded sweeps.
+  const TableStats storage = MakeDatabase(source, effective)->Stats("R");
+
   FigureHeader("group_by", "grouped pushdown speedup vs selectivity",
                "selectivity_pct", "speedup");
   TablePrinter table({"sel%", "groups", "arm", "qps", "speedup"});
@@ -339,9 +343,12 @@ void Run(const BenchArgs& args, const GroupByOptions& opt) {
           "BENCH_group_by {\"engine\":\"%s\",\"rows\":%zu,\"queries\":%zu,"
           "\"sel_pct\":%zu,\"group_card\":%zu,\"kernel_isa\":\"%s\","
           "\"materialize_qps\":%.1f,\"pushdown_qps\":%.1f,"
-          "\"speedup\":%.3f,\"reconstruct_zero\":true,\"verified\":true}\n",
+          "\"speedup\":%.3f,"
+          "\"resident_column_bytes\":%zu,\"bytes_per_row\":%.2f,"
+          "\"reconstruct_zero\":true,\"verified\":true}\n",
           effective.engine.c_str(), rows, queries, pct, card, kernel_isa,
-          control.qps, push.qps, speedup);
+          control.qps, push.qps, speedup, storage.resident_column_bytes,
+          storage.bytes_per_row);
     }
   }
   table.Print();

@@ -229,6 +229,10 @@ void Run(const BenchArgs& args, const ApiOptions& opt) {
   }
   std::printf("# verification pushdown==fold==plain: ok\n");
 
+  // Storage footprint of the table in this bench's (raw) layout, so the
+  // JSON lines are comparable with bench_compression's encoded sweeps.
+  const TableStats storage = MakeDatabase(source, effective)->Stats("R");
+
   FigureHeader("query_api", "pushdown speedup vs selectivity",
                "selectivity_pct", "speedup");
   TablePrinter table({"sel%", "arm", "qps", "speedup", "rows/query"});
@@ -280,9 +284,11 @@ void Run(const BenchArgs& args, const ApiOptions& opt) {
         "\"sel_pct\":%zu,\"kernel_isa\":\"%s\",\"materialize_qps\":%.1f,"
         "\"count_qps\":%.1f,\"count_speedup\":%.3f,\"sum_qps\":%.1f,"
         "\"sum_speedup\":%.3f,\"sum_fold_gbps\":%.3f,"
+        "\"resident_column_bytes\":%zu,\"bytes_per_row\":%.2f,"
         "\"reconstruct_zero\":true,\"verified\":true}\n",
         effective.engine.c_str(), rows, queries, pct, kernel_isa, fold.qps,
-        count.qps, count_speedup, sum.qps, sum_speedup, sum_fold_gbps);
+        count.qps, count_speedup, sum.qps, sum_speedup, sum_fold_gbps,
+        storage.resident_column_bytes, storage.bytes_per_row);
   }
   table.Print();
 }

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "storage/codec.h"
+
 namespace crackdb {
 
 /// Knobs of the adaptive-repartitioning subsystem (src/adaptive): when the
@@ -58,6 +60,18 @@ struct AdaptiveConfig {
   /// Bounded per-partition sample of predicate boundaries (split-point
   /// candidates) kept by the workload histogram.
   size_t sketch_capacity = 64;
+
+  /// Hot/cold layout adaptation (storage/codec.h): when
+  /// `compression.enabled`, ticks may also compress a cold partition's
+  /// columns (share of observed accesses at or below
+  /// `compression.cold_compress_share`) or decompress a compressed
+  /// partition that turned hot (share at or above
+  /// `compression.hot_decompress_share`). Rides the same histogram,
+  /// cooldown, and min_accesses hysteresis as split/merge — and therefore
+  /// the same range-sharding requirement for *adaptive* layout changes;
+  /// hash-sharded tables still get `compress_on_load` and the query-driven
+  /// crack-on-touch decompression.
+  CompressionConfig compression;
 };
 
 }  // namespace crackdb

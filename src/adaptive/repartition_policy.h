@@ -13,9 +13,11 @@ namespace crackdb {
 /// One action the policy asks the Repartitioner to execute. kSplit cuts
 /// partition `partition` in two: the left half keeps the old slice start,
 /// the right half starts at `split_value`. kMerge fuses adjacent
-/// partitions `partition` and `partition + 1` into one slice.
+/// partitions `partition` and `partition + 1` into one slice. kCompress
+/// and kDecompress change partition `partition`'s physical layout in
+/// place (storage/codec.h) — no rows move and the map is unchanged.
 struct RepartitionDecision {
-  enum class Kind { kNone, kSplit, kMerge };
+  enum class Kind { kNone, kSplit, kMerge, kCompress, kDecompress };
 
   Kind kind = Kind::kNone;
   size_t partition = 0;
@@ -24,8 +26,9 @@ struct RepartitionDecision {
 
 /// Pure decision logic of the adaptive subsystem — no locks, no storage
 /// references, unit-testable in isolation. Each Tick inspects a
-/// per-partition view of the workload histogram and either proposes one
-/// hot-split, one cold-merge, or nothing.
+/// per-partition view of the workload histogram and proposes at most one
+/// action: a hot-split, a cold-merge, or (with compression enabled) a
+/// hot-decompress or cold-compress.
 ///
 /// Hysteresis, so the map never thrashes:
 ///  - nothing fires below `min_accesses` observed accesses;
@@ -51,6 +54,11 @@ class RepartitionPolicy {
     Value cover_lo = 0;
     Value cover_hi = 0;
     std::vector<Value> split_candidates;
+    /// Layout inputs for the compression decisions: whether the partition
+    /// is currently compressed, and whether it could be (raw, no
+    /// tombstones). Both false when compression is disabled.
+    bool compressed = false;
+    bool compressible = false;
   };
 
   /// Evaluates one tick. Never mutates hysteresis state except for the

@@ -31,10 +31,45 @@ bool Repartitioner::Execute(const RepartitionDecision& decision) {
       return ExecuteSplit(decision.partition, decision.split_value);
     case RepartitionDecision::Kind::kMerge:
       return ExecuteMerge(decision.partition);
+    case RepartitionDecision::Kind::kCompress:
+      return ExecuteCompress(decision.partition);
+    case RepartitionDecision::Kind::kDecompress:
+      return ExecuteDecompress(decision.partition);
     case RepartitionDecision::Kind::kNone:
       return false;
   }
   return false;
+}
+
+bool Repartitioner::ExecuteCompress(size_t partition) {
+  PartitionedRelation& relation = *hooks_.relation;
+  RwGate::SharedGuard map_guard(relation.map_gate());
+  if (partition >= relation.num_partitions()) return false;
+  std::unique_lock<std::shared_mutex> lock(relation.partition_mutex(partition));
+  const Relation& shard = relation.partition(partition);
+  if (shard.compressed() || shard.num_deleted() != 0) return false;
+  // Dry-run the codec choice before touching the engine: resetting it and
+  // then failing to compress would drop cracked state for nothing.
+  bool any = false;
+  for (size_t c = 0; c < shard.num_columns() && !any; ++c) {
+    any = ChooseCodec(shard.column(c).values(), hooks_.compression) !=
+          CodecKind::kRaw;
+  }
+  if (!any) return false;
+  // Fresh engine first, while the relation is still raw (see header).
+  hooks_.engine->ResetPartitionEngine(partition);
+  return relation.partition(partition).Compress(hooks_.compression) > 0;
+}
+
+bool Repartitioner::ExecuteDecompress(size_t partition) {
+  PartitionedRelation& relation = *hooks_.relation;
+  RwGate::SharedGuard map_guard(relation.map_gate());
+  if (partition >= relation.num_partitions()) return false;
+  std::unique_lock<std::shared_mutex> lock(relation.partition_mutex(partition));
+  const Relation& shard = relation.partition(partition);
+  if (!shard.compressed()) return false;
+  shard.Decompress();
+  return true;
 }
 
 Repartitioner::ShardSnapshot Repartitioner::SnapshotShard(size_t partition) {
@@ -43,6 +78,21 @@ Repartitioner::ShardSnapshot Repartitioner::SnapshotShard(size_t partition) {
   ShardSnapshot snap;
   snap.old_relation = &shard;
   snap.old_name = shard.name();
+  // A compressed shard decompresses first (under the exclusive lock): the
+  // column copy below reads the raw vectors, and split/merge result
+  // shards are always born raw. Rare — the policy targets hot (raw)
+  // partitions for splits and compressed ones are cold by construction.
+  {
+    std::shared_lock<std::shared_mutex> peek(
+        relation.partition_mutex(partition));
+    const bool compressed = shard.compressed();
+    peek.unlock();
+    if (compressed) {
+      std::unique_lock<std::shared_mutex> exclusive(
+          relation.partition_mutex(partition));
+      shard.Decompress();  // idempotent if raced
+    }
+  }
   // Shared: excludes writers and cracking queries on this one partition
   // for the duration of a column copy; everything else proceeds.
   std::shared_lock<std::shared_mutex> lock(

@@ -61,13 +61,17 @@ class Repartitioner {
     /// Drops a retired shard relation; called after the swap, with no
     /// lock held. May be empty (retired shards then leak until teardown).
     std::function<void(const std::string&)> drop_relation;
+    /// Codec selection knobs for kCompress decisions.
+    CompressionConfig compression;
   };
 
   explicit Repartitioner(Hooks hooks);
 
-  /// Executes one split or merge. Returns false, leaving the table
-  /// untouched, when the decision does not match the map — wrong kind,
-  /// out-of-range index, split value outside the slice cover.
+  /// Executes one decision — split, merge, compress, or decompress.
+  /// Returns false, leaving the table untouched, when the decision does
+  /// not match the table's state — wrong kind, out-of-range index, split
+  /// value outside the slice cover, compress of an already-compressed (or
+  /// incompressible) partition, decompress of a raw one.
   bool Execute(const RepartitionDecision& decision);
 
  private:
@@ -83,6 +87,16 @@ class Repartitioner {
 
   bool ExecuteSplit(size_t partition, Value split_value);
   bool ExecuteMerge(size_t left);
+
+  /// Layout changes, in place under the partition's exclusive lock (map
+  /// gate shared — the map itself is untouched). Compress stamps a fresh
+  /// partition engine *first*, while the relation is still raw: the old
+  /// engine's auxiliary copies of a cold partition are exactly the bytes
+  /// being reclaimed, and eager engine kinds read the base columns at
+  /// construction. Decompress keeps the engine — it was stamped fresh at
+  /// compress time and no write landed since (writes decompress first).
+  bool ExecuteCompress(size_t partition);
+  bool ExecuteDecompress(size_t partition);
 
   ShardSnapshot SnapshotShard(size_t partition);
   Relation& CreateShard(const std::vector<std::string>& column_names);

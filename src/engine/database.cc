@@ -76,6 +76,17 @@ void Database::RegisterSharded(const std::string& table,
     entry->policy = std::make_unique<RepartitionPolicy>(adaptive);
     entry->engine->SetHistogram(entry->histogram.get());
   }
+  // Cold-start layout: compress every qualifying partition at load time.
+  // The per-partition engines above are freshly constructed (no cracked
+  // state to invalidate) and no traffic has arrived yet, so neither an
+  // engine reset nor partition locking is needed here.
+  if (adaptive.compression.enabled && adaptive.compression.compress_on_load) {
+    for (size_t i = 0; i < entry->relation.num_partitions(); ++i) {
+      if (entry->relation.partition(i).Compress(adaptive.compression) > 0) {
+        entry->compressions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
   if (!tables_.emplace(table, std::move(entry)).second) {
     Die("duplicate table", table);
   }
@@ -342,6 +353,18 @@ void Database::ApplyViews(Table& t, std::span<const WriteView> ops,
             t.relation.partition_mutex(target));
         locked = target;
       }
+      // Writes land in raw partitions only: the encoded layouts are
+      // immutable and tombstone-blind, so a write to a compressed
+      // partition materializes it back to raw first. Its engine stayed
+      // valid across the compressed phase (stamped fresh at compress
+      // time); it absorbs this write lazily like any other.
+      {
+        const Relation& part = t.relation.partition(target);
+        if (part.compressed()) {
+          part.Decompress();
+          t.decompressions.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       if (op.kind == WriteOp::Kind::kInsert) {
         outcomes[i] = {true, t.relation.AppendTo(target, op.values)};
         ++inserts;
@@ -437,9 +460,15 @@ bool Database::RunTick(Table& t) {
     inputs.resize(n);
     for (size_t i = 0; i < n; ++i) {
       std::shared_lock<std::shared_mutex> lock(t.relation.partition_mutex(i));
-      inputs[i].live_rows = t.relation.partition(i).num_live_rows();
+      const Relation& part = t.relation.partition(i);
+      inputs[i].live_rows = part.num_live_rows();
       inputs[i].cover_lo = t.relation.SliceCoverLo(i);
       inputs[i].cover_hi = t.relation.SliceCoverHi(i);
+      if (t.adaptive.compression.enabled) {
+        inputs[i].compressed = part.compressed();
+        inputs[i].compressible =
+            !inputs[i].compressed && part.num_deleted() == 0;
+      }
       if (i < snap.partitions.size()) {
         inputs[i].accesses = snap.partitions[i].accesses;
         inputs[i].split_candidates = std::move(snap.partitions[i].boundaries);
@@ -463,13 +492,25 @@ bool Database::RunTick(Table& t) {
     std::unique_lock<std::shared_mutex> lock(tables_mu_);
     catalog_.DropRelation(name);
   };
+  hooks.compression = t.adaptive.compression;
   Repartitioner repartitioner(std::move(hooks));
   if (!repartitioner.Execute(decision)) return false;
   t.policy->NoteExecuted(decision);
-  if (decision.kind == RepartitionDecision::Kind::kSplit) {
-    t.splits.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    t.merges.fetch_add(1, std::memory_order_relaxed);
+  switch (decision.kind) {
+    case RepartitionDecision::Kind::kSplit:
+      t.splits.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RepartitionDecision::Kind::kMerge:
+      t.merges.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RepartitionDecision::Kind::kCompress:
+      t.compressions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RepartitionDecision::Kind::kDecompress:
+      t.decompressions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RepartitionDecision::Kind::kNone:
+      break;
   }
   return true;
 }
@@ -486,19 +527,24 @@ TableStats Database::Stats(const std::string& table) const {
     if (t.histogram != nullptr) {
       hist = t.histogram->Snap(/*with_boundaries=*/false);
     }
-    stats.engine = t.engine->name();
     stats.partitions = t.relation.num_partitions();
     const bool range = t.relation.spec().kind == PartitionSpec::Kind::kRange;
     stats.per_partition.resize(stats.partitions);
     for (size_t i = 0; i < stats.partitions; ++i) {
       // Shared: consistent per-partition snapshot that excludes writers
       // and cracking readers but runs concurrently with other snapshots.
+      // Also excludes ResetPartitionEngine (exclusive), so the engine
+      // name reads below never race a compression-layer engine swap.
       std::shared_lock<std::shared_mutex> lock(t.relation.partition_mutex(i));
+      if (i == 0) stats.engine = t.engine->name();
       const Relation& part = t.relation.partition(i);
       PartitionStats& ps = stats.per_partition[i];
       ps.rows = part.num_rows();
       ps.live_rows = part.num_live_rows();
       ps.deleted = part.num_deleted();
+      ps.engine = t.engine->partition_engine(i).name();
+      ps.codec = part.CodecSummary();
+      ps.resident_bytes = part.resident_column_bytes();
       if (range) {
         ps.cover_lo = t.relation.SliceCoverLo(i);
         ps.cover_hi = t.relation.SliceCoverHi(i);
@@ -510,6 +556,8 @@ TableStats Database::Stats(const std::string& table) const {
       stats.rows += ps.rows;
       stats.live_rows += ps.live_rows;
       stats.deleted += ps.deleted;
+      stats.resident_column_bytes += ps.resident_bytes;
+      if (part.compressed()) ++stats.compressed_partitions;
     }
   }
   stats.queries = t.queries.load(std::memory_order_relaxed);
@@ -517,6 +565,14 @@ TableStats Database::Stats(const std::string& table) const {
   stats.deletes = t.deletes.load(std::memory_order_relaxed);
   stats.splits = t.splits.load(std::memory_order_relaxed);
   stats.merges = t.merges.load(std::memory_order_relaxed);
+  stats.compressions = t.compressions.load(std::memory_order_relaxed);
+  stats.decompressions = t.decompressions.load(std::memory_order_relaxed) +
+                         t.engine->crack_decompressions();
+  stats.encoded_queries = t.engine->encoded_queries();
+  stats.bytes_per_row =
+      stats.rows == 0 ? 0.0
+                      : static_cast<double>(stats.resident_column_bytes) /
+                            static_cast<double>(stats.rows);
   stats.cost = t.engine->CostSnapshot();
   return stats;
 }

@@ -90,6 +90,14 @@ struct PartitionStats {
   /// access count and partition-local execution micros.
   uint64_t accesses = 0;
   double access_micros = 0;
+  /// This partition's engine kind (per-partition engines can be reset by
+  /// the compression layer, so the table-level name is not the whole
+  /// story) and physical layout: "raw", or the distinct codecs of its
+  /// compressed columns ("for", "rle+dict", ...), plus the bytes its
+  /// columns occupy in that layout.
+  std::string engine;
+  std::string codec;
+  size_t resident_bytes = 0;
 };
 
 /// View of one table. Each partition is read under its shared lock, so no
@@ -110,6 +118,18 @@ struct TableStats {
   /// Adaptive repartitioning actions executed so far.
   uint64_t splits = 0;
   uint64_t merges = 0;
+  /// Compression layer: partitions currently compressed, layout actions
+  /// executed (decompressions counts adaptive + write-path + query-driven
+  /// crack-on-touch), queries answered in the encoded domain, and the
+  /// resident footprint of all base columns in their current layouts —
+  /// `bytes_per_row` is that footprint over the row-slot count (raw
+  /// storage is num_columns * 8).
+  size_t compressed_partitions = 0;
+  uint64_t compressions = 0;
+  uint64_t decompressions = 0;
+  uint64_t encoded_queries = 0;
+  size_t resident_column_bytes = 0;
+  double bytes_per_row = 0;
   /// Summed per-partition cost breakdown (select/reconstruct/prepare).
   CostBreakdown cost;
   /// Per-partition breakdown, in partition order (see PartitionStats).
@@ -299,6 +319,11 @@ class Database {
     std::unique_ptr<RepartitionPolicy> policy;
     std::atomic<uint64_t> splits{0};
     std::atomic<uint64_t> merges{0};
+    /// Layout actions: adaptive/load-time compressions, and adaptive +
+    /// write-path decompressions (the engine's crack-on-touch counter is
+    /// added at Stats time).
+    std::atomic<uint64_t> compressions{0};
+    std::atomic<uint64_t> decompressions{0};
     /// Background-trigger bookkeeping: ops served since registration, an
     /// at-most-one-tick-in-flight flag, and the (joinable) tick thread.
     /// Ticks run on their own thread, never on a pool worker: the swap

@@ -7,6 +7,8 @@
 
 #include "common/timer.h"
 #include "engine/group_table.h"
+#include "kernels/kernels.h"
+#include "storage/codec.h"
 
 namespace crackdb {
 
@@ -137,6 +139,84 @@ class ShardedHandle : public SelectionHandle {
   std::vector<size_t> prefix_;
 };
 
+/// True when a sub-query can be answered in a compressed partition's
+/// encoded domain, without touching (or building) any cracked structure:
+/// scalar consumption (Count, or an Aggregate other than COUNT — plain
+/// COUNT arrives as ConsumeKind::kCount), at most one selection, and no
+/// tombstones (the encoded scans are tombstone-blind; Relation::Compress
+/// enforces the same invariant, so this check is defensive).
+bool EncodedServable(const Relation& part, const QuerySpec& spec,
+                     const ConsumeSpec* consume) {
+  if (consume == nullptr) return false;
+  if (consume->kind == ConsumeKind::kAggregate) {
+    if (consume->op == AggregateOp::kCount) return false;
+  } else if (consume->kind != ConsumeKind::kCount) {
+    return false;
+  }
+  return spec.selections.size() <= 1 && part.num_deleted() == 0;
+}
+
+/// Answers one encoded-servable sub-query straight off the partition's
+/// current layout. Individual columns may still be raw (ChooseCodec keeps
+/// incompressible ones raw): raw columns go through the regular dispatched
+/// kernels over their value vectors, encoded ones through the codec's
+/// encoded-domain kernels. Either way the partition's layout is unchanged
+/// and the fold order matches the raw path position-for-position, so sums
+/// (mod 2^64) and min/max land bit-identical to the decompressed answer.
+void ServeEncoded(const Relation& part, const QuerySpec& spec,
+                  const ConsumeSpec& consume, size_t* num_rows,
+                  Value* aggregate, bool* aggregate_valid) {
+  const QuerySpec::Selection* sel =
+      spec.selections.empty() ? nullptr : &spec.selections[0];
+  const Column* sel_col = sel == nullptr ? nullptr : &part.column(sel->attr);
+  if (consume.kind == ConsumeKind::kCount) {
+    if (sel == nullptr) {
+      *num_rows = part.num_rows();
+    } else if (sel_col->compressed()) {
+      *num_rows = EncodedCount(*sel_col->encoded(), sel->pred);
+    } else {
+      *num_rows = kernels::CountRange(sel_col->values().data(),
+                                      sel_col->size(), sel->pred);
+    }
+    return;
+  }
+  const Column& agg = part.column(consume.attr);
+  const kernels::FoldOp op = ToFoldOp(consume.op);
+  if (sel == nullptr) {
+    *num_rows = part.num_rows();
+    if (agg.compressed()) {
+      EncodedFold(*agg.encoded(), op, aggregate, aggregate_valid);
+    } else {
+      kernels::FoldSpan(op, agg.values().data(), agg.size(), aggregate,
+                        aggregate_valid);
+    }
+    return;
+  }
+  if (sel->attr == consume.attr && agg.compressed()) {
+    // Filter and fold in one encoded pass over the same column.
+    *num_rows = EncodedFoldFiltered(*agg.encoded(), sel->pred, op, aggregate,
+                                    aggregate_valid);
+    return;
+  }
+  // Two-column (or raw-selection) shape: matching positions off the
+  // selection column, then fold the aggregate column at those positions.
+  std::vector<Key> keys;
+  if (sel_col->compressed()) {
+    EncodedSelect(*sel_col->encoded(), sel->pred, 0, &keys);
+  } else {
+    kernels::SelectRange(sel_col->values().data(), sel_col->size(), sel->pred,
+                         0, &keys);
+  }
+  *num_rows = keys.size();
+  if (keys.empty()) return;
+  if (agg.compressed()) {
+    EncodedGatherFold(*agg.encoded(), keys, op, aggregate, aggregate_valid);
+  } else {
+    kernels::FoldGather(op, agg.values().data(), keys.data(), keys.size(),
+                        aggregate, aggregate_valid);
+  }
+}
+
 }  // namespace
 
 ShardedEngine::ShardedEngine(const PartitionedRelation& relation,
@@ -222,6 +302,18 @@ void ShardedEngine::SpliceEngines(size_t first, size_t removed,
                   std::make_move_iterator(added.end()));
 }
 
+void ShardedEngine::ResetPartitionEngine(size_t p) {
+  if (p >= engines_.size()) {
+    Die("engine reset out of bounds", relation_->name());
+  }
+  // Element replacement only — the vector itself is stable, so groups
+  // running on other partitions (map gate held shared by everyone) are
+  // unaffected. The caller's exclusive hold of partition p's lock excludes
+  // every reader of this slot.
+  engines_[p] = factory_(relation_->partition(p));
+  if (engines_[p] == nullptr) Die("factory returned null", relation_->name());
+}
+
 std::vector<std::vector<ShardedEngine::ShardResult>>
 ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
                             std::span<const ConsumeSpec> consumes) {
@@ -255,7 +347,6 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
 
   auto run_group = [&](size_t a) {
     const size_t p = active[a];
-    Engine& child = *engines_[p];
     Timer group_timer;
     // One exclusive acquisition serves the whole group: the sub-queries
     // crack the partition's auxiliary structures back to back (batch
@@ -263,12 +354,40 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
     // declared projection is materialized — or, for scalar consumption,
     // folded into a partial — before the lock is released.
     std::unique_lock<std::shared_mutex> lock(relation_->partition_mutex(p));
+    // The engine reference is resolved under the lock: the compression
+    // layer stamps fresh partition engines (ResetPartitionEngine) under
+    // this same lock held exclusively.
+    Engine& child = *engines_[p];
+    const Relation& part = relation_->partition(p);
     for (const SubQuery& sub : groups[p]) {
       const QuerySpec& spec = specs[sub.spec_index];
-      const ConsumeKind kind = consumes.empty()
-                                   ? ConsumeKind::kMaterialize
-                                   : consumes[sub.spec_index].kind;
+      const ConsumeSpec* consume =
+          consumes.empty() ? nullptr : &consumes[sub.spec_index];
+      const ConsumeKind kind =
+          consume == nullptr ? ConsumeKind::kMaterialize : consume->kind;
       ShardResult& shard = results[sub.spec_index][sub.slot];
+
+      if (part.compressed()) {
+        if (EncodedServable(part, spec, consume)) {
+          // Scalar sub-query over a compressed partition: answer it in
+          // the encoded domain. No decompression, and no cracked
+          // structure is built or advanced — cold partitions stay cold.
+          Timer encoded_timer;
+          ServeEncoded(part, spec, *consume, &shard.num_rows,
+                       &shard.aggregate, &shard.aggregate_valid);
+          shard.cost.select_micros = encoded_timer.ElapsedMicros();
+          encoded_queries_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Crack-on-touch: the first sub-query the encoded domain cannot
+        // serve materializes this partition (only) back to raw, then
+        // proceeds through its engine as usual. The engine stayed valid
+        // across the compressed phase — it was stamped fresh at compress
+        // time and no write has landed since (writes decompress first).
+        part.Decompress();
+        crack_decompressions_.fetch_add(1, std::memory_order_relaxed);
+      }
+
       const CostBreakdown before = child.cost();
       Timer select_timer;
       std::unique_ptr<SelectionHandle> handle = child.Select(spec);

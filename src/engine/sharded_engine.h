@@ -1,6 +1,8 @@
 #ifndef CRACKDB_ENGINE_SHARDED_ENGINE_H_
 #define CRACKDB_ENGINE_SHARDED_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -132,6 +134,24 @@ class ShardedEngine : public Engine {
   void SpliceEngines(size_t first, size_t removed,
                      std::vector<std::unique_ptr<Engine>> added);
 
+  /// Stamps a fresh engine for partition `p`, dropping every auxiliary
+  /// structure (cracker copies, map sets) the old one accumulated. Used
+  /// by the compression layer right before a partition's base columns are
+  /// compressed — the partition must still be raw, since eager engine
+  /// kinds (row) read the base columns at construction. Caller holds the
+  /// map gate (shared suffices) and partition `p`'s lock exclusively.
+  void ResetPartitionEngine(size_t p);
+
+  /// Compression-path observability: sub-queries answered entirely in the
+  /// encoded domain, and crack-on-touch decompressions triggered by
+  /// sub-queries the encoded domain could not serve.
+  uint64_t encoded_queries() const {
+    return encoded_queries_.load(std::memory_order_relaxed);
+  }
+  uint64_t crack_decompressions() const {
+    return crack_decompressions_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct ShardResult {
     std::vector<std::vector<Value>> columns;  // aligned with projections
@@ -182,6 +202,8 @@ class ShardedEngine : public Engine {
   ThreadPool* pool_;
   WorkloadHistogram* histogram_ = nullptr;
   mutable std::mutex cost_mu_;
+  std::atomic<uint64_t> encoded_queries_{0};
+  std::atomic<uint64_t> crack_decompressions_{0};
 };
 
 }  // namespace crackdb

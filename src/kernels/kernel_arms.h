@@ -34,7 +34,23 @@ namespace crackdb::kernels::detail {
   void Gather_##arm(const Value* values, const Key* keys, size_t n,         \
                     Value* out);                                            \
   void FoldGroup_##arm(FoldOp op, const Value* values, const Key* keys,     \
-                       const uint32_t* group_of, size_t n, Value* accs)
+                       const uint32_t* group_of, size_t n, Value* accs);    \
+  size_t CountPacked_##arm(const uint64_t* words, unsigned bits, size_t n,  \
+                           uint64_t lo_code, uint64_t hi_code);             \
+  void SelectPacked_##arm(const uint64_t* words, unsigned bits, size_t n,   \
+                          uint64_t lo_code, uint64_t hi_code, Key base,     \
+                          std::vector<Key>* out);                           \
+  void FoldPacked_##arm(FoldOp op, const uint64_t* words, unsigned bits,    \
+                        size_t n, Value value_base, uint64_t lo_code,       \
+                        uint64_t hi_code, Value* acc, bool* valid);         \
+  size_t CountRle_##arm(const Value* run_values, const uint32_t* run_starts,\
+                        size_t num_runs, const RangePredicate& pred);       \
+  void SelectRle_##arm(const Value* run_values, const uint32_t* run_starts, \
+                       size_t num_runs, const RangePredicate& pred,         \
+                       Key base, std::vector<Key>* out);                    \
+  void FoldRle_##arm(FoldOp op, const Value* run_values,                    \
+                     const uint32_t* run_starts, size_t num_runs,           \
+                     const RangePredicate& pred, Value* acc, bool* valid)
 
 CRACKDB_DECLARE_ARM(Scalar);
 CRACKDB_DECLARE_ARM(Sse2);

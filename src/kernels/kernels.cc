@@ -12,7 +12,10 @@ namespace {
         detail::CountRange_##arm, detail::SelectRange_##arm,             \
         detail::FilterKeys_##arm, detail::MatchBitmap_##arm,             \
         detail::FoldSpan_##arm, detail::FoldGather_##arm,                \
-        detail::Gather_##arm, detail::FoldGroup_##arm                    \
+        detail::Gather_##arm, detail::FoldGroup_##arm,                   \
+        detail::CountPacked_##arm, detail::SelectPacked_##arm,           \
+        detail::FoldPacked_##arm, detail::CountRle_##arm,                \
+        detail::SelectRle_##arm, detail::FoldRle_##arm                   \
   }
 
 constexpr KernelTable kScalarTable = CRACKDB_ARM_TABLE(Scalar);

@@ -44,6 +44,40 @@ enum class FoldOp { kSum, kMin, kMax };
 /// disjunctive widen step). Bits outside [begin, end) are never touched.
 enum class BitmapMode { kAssign, kAnd, kOr };
 
+// ---------------------------------------------------------------------------
+// Bit-packed code layout, shared by the codec layer (storage/codec.h) and
+// the encoded kernels below. Code i occupies bits [i*bits, (i+1)*bits)
+// little-endian across the word array; `bits` is at most 63 so a code never
+// spans more than two words. Arrays sized with PackedWordCount carry one
+// trailing pad word, so arms may read words[w + 1] unconditionally.
+// ---------------------------------------------------------------------------
+
+/// Words needed to pack `n` codes of `bits` bits, plus one pad word.
+inline size_t PackedWordCount(unsigned bits, size_t n) {
+  return (n * static_cast<size_t>(bits) + 63) / 64 + 1;
+}
+
+/// Code i of a packed array; bits must be in [1, 63].
+inline uint64_t PackedGet(const uint64_t* words, unsigned bits, size_t i) {
+  const size_t bit = i * static_cast<size_t>(bits);
+  const size_t w = bit >> 6;
+  const unsigned off = static_cast<unsigned>(bit & 63);
+  uint64_t code = words[w] >> off;
+  if (off + bits > 64) code |= words[w + 1] << (64 - off);
+  return code & ((uint64_t{1} << bits) - 1);
+}
+
+/// Writes code i into a zero-initialized packed array (encoder side; codes
+/// must be written at most once per slot). bits in [1, 63], code < 2^bits.
+inline void PackedSet(uint64_t* words, unsigned bits, size_t i,
+                      uint64_t code) {
+  const size_t bit = i * static_cast<size_t>(bits);
+  const size_t w = bit >> 6;
+  const unsigned off = static_cast<unsigned>(bit & 63);
+  words[w] |= code << off;
+  if (off + bits > 64) words[w + 1] |= code >> (64 - off);
+}
+
 /// One implementation arm: per-kernel function pointers. The dispatch
 /// layer resolves which table Active() returns once at startup; benches
 /// and property tests address specific arms via Table(isa).
@@ -113,6 +147,50 @@ struct KernelTable {
   /// group-id conflicts cannot lose updates).
   void (*fold_group)(FoldOp op, const Value* values, const Key* keys,
                      const uint32_t* group_of, size_t n, Value* accs);
+
+  // --- Encoded-domain kernels (the codec fast paths, storage/codec.h) ---
+  //
+  // Packed kernels operate on the bit-packed code layout above: `n` codes
+  // of `bits` bits each (bits in [0, 63]; bits == 0 means every code is 0
+  // and `words` may be null). The predicate arrives pre-translated into
+  // the code domain as the closed interval [lo_code, hi_code] with
+  // lo_code <= hi_code (the codec layer handles empty ranges before
+  // dispatching); because a FOR/dictionary encoding is monotone, unsigned
+  // code order equals value order. RLE kernels operate on `num_runs` runs:
+  // run i holds run_values[i] over positions [run_starts[i],
+  // run_starts[i+1]) — run_starts has num_runs + 1 entries.
+
+  /// Number of codes in [lo_code, hi_code].
+  size_t (*count_packed)(const uint64_t* words, unsigned bits, size_t n,
+                         uint64_t lo_code, uint64_t hi_code);
+
+  /// Appends `base + i` for every code i in [lo_code, hi_code], ascending.
+  void (*select_packed)(const uint64_t* words, unsigned bits, size_t n,
+                        uint64_t lo_code, uint64_t hi_code, Key base,
+                        std::vector<Key>* out);
+
+  /// Folds `value_base + code` (wrapping uint64 add, the FOR decode) over
+  /// every code in [lo_code, hi_code] into (*acc, *valid); untouched when
+  /// nothing matches. Pass [0, 2^bits - 1] for an unfiltered fold.
+  void (*fold_packed)(FoldOp op, const uint64_t* words, unsigned bits,
+                      size_t n, Value value_base, uint64_t lo_code,
+                      uint64_t hi_code, Value* acc, bool* valid);
+
+  /// Number of positions covered by runs whose value matches `pred` —
+  /// run-granular: one predicate test per run, never per position.
+  size_t (*count_rle)(const Value* run_values, const uint32_t* run_starts,
+                      size_t num_runs, const RangePredicate& pred);
+
+  /// Appends `base + pos` for every position in a matching run, ascending.
+  void (*select_rle)(const Value* run_values, const uint32_t* run_starts,
+                     size_t num_runs, const RangePredicate& pred, Key base,
+                     std::vector<Key>* out);
+
+  /// Folds matching runs into (*acc, *valid): sums add value * run_length
+  /// (wrapping mod 2^64), min/max fold each matching run's value once.
+  void (*fold_rle)(FoldOp op, const Value* run_values,
+                   const uint32_t* run_starts, size_t num_runs,
+                   const RangePredicate& pred, Value* acc, bool* valid);
 };
 
 /// The named arm's table. Always valid: on CPUs (or builds) without an
@@ -179,6 +257,41 @@ inline void Gather(const Value* values, const Key* keys, size_t n,
 inline void FoldGroup(FoldOp op, const Value* values, const Key* keys,
                       const uint32_t* group_of, size_t n, Value* accs) {
   Active().fold_group(op, values, keys, group_of, n, accs);
+}
+
+inline size_t CountPacked(const uint64_t* words, unsigned bits, size_t n,
+                          uint64_t lo_code, uint64_t hi_code) {
+  return Active().count_packed(words, bits, n, lo_code, hi_code);
+}
+
+inline void SelectPacked(const uint64_t* words, unsigned bits, size_t n,
+                         uint64_t lo_code, uint64_t hi_code, Key base,
+                         std::vector<Key>* out) {
+  Active().select_packed(words, bits, n, lo_code, hi_code, base, out);
+}
+
+inline void FoldPacked(FoldOp op, const uint64_t* words, unsigned bits,
+                       size_t n, Value value_base, uint64_t lo_code,
+                       uint64_t hi_code, Value* acc, bool* valid) {
+  Active().fold_packed(op, words, bits, n, value_base, lo_code, hi_code, acc,
+                       valid);
+}
+
+inline size_t CountRle(const Value* run_values, const uint32_t* run_starts,
+                       size_t num_runs, const RangePredicate& pred) {
+  return Active().count_rle(run_values, run_starts, num_runs, pred);
+}
+
+inline void SelectRle(const Value* run_values, const uint32_t* run_starts,
+                      size_t num_runs, const RangePredicate& pred, Key base,
+                      std::vector<Key>* out) {
+  Active().select_rle(run_values, run_starts, num_runs, pred, base, out);
+}
+
+inline void FoldRle(FoldOp op, const Value* run_values,
+                    const uint32_t* run_starts, size_t num_runs,
+                    const RangePredicate& pred, Value* acc, bool* valid) {
+  Active().fold_rle(op, run_values, run_starts, num_runs, pred, acc, valid);
 }
 
 }  // namespace crackdb::kernels

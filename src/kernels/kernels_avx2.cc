@@ -566,6 +566,110 @@ CRACKDB_AVX2 void FoldGroup_Avx2(FoldOp op, const Value* values,
   FoldGroup_Scalar(op, values, keys + i, group_of + i, n - i, accs);
 }
 
+namespace {
+
+/// Codes decoded per block for the packed kernels: big enough to amortize
+/// the unpack, small enough to stay L1-resident (8 KiB of stack).
+constexpr size_t kPackedBlock = 1024;
+
+/// Unpacks codes [start, start + len) into out[0..len), adding `base` with
+/// wrapping uint64 arithmetic (pass 0 to get raw codes). Reads the pad
+/// word unconditionally (PackedWordCount guarantees it); the double shift
+/// keeps off == 0 defined.
+CRACKDB_AVX2 inline void UnpackBlock(const uint64_t* words, unsigned bits,
+                                     uint64_t mask, size_t start, size_t len,
+                                     uint64_t base, Value* out) {
+  for (size_t j = 0; j < len; ++j) {
+    const size_t bit = (start + j) * static_cast<size_t>(bits);
+    const size_t w = bit >> 6;
+    const unsigned off = static_cast<unsigned>(bit & 63);
+    const uint64_t c =
+        ((words[w] >> off) | ((words[w + 1] << 1) << (63 - off))) & mask;
+    out[j] = static_cast<Value>(base + c);
+  }
+}
+
+}  // namespace
+
+CRACKDB_AVX2 size_t CountPacked_Avx2(const uint64_t* words, unsigned bits,
+                                     size_t n, uint64_t lo_code,
+                                     uint64_t hi_code) {
+  if (bits == 0) return lo_code == 0 ? n : 0;
+  // Codes fit int64 (bits <= 63), so the signed SIMD range core applies to
+  // the decoded block directly.
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  const RangePredicate pred = RangePredicate::Closed(
+      static_cast<Value>(lo_code), static_cast<Value>(hi_code));
+  alignas(32) Value block[kPackedBlock];
+  size_t count = 0;
+  for (size_t i = 0; i < n; i += kPackedBlock) {
+    const size_t len = std::min(kPackedBlock, n - i);
+    UnpackBlock(words, bits, mask, i, len, 0, block);
+    count += CountRange_Avx2(block, len, pred);
+  }
+  return count;
+}
+
+CRACKDB_AVX2 void SelectPacked_Avx2(const uint64_t* words, unsigned bits,
+                                    size_t n, uint64_t lo_code,
+                                    uint64_t hi_code, Key base,
+                                    std::vector<Key>* out) {
+  if (bits == 0) {
+    SelectPacked_Sse2(words, bits, n, lo_code, hi_code, base, out);
+    return;
+  }
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  const RangePredicate pred = RangePredicate::Closed(
+      static_cast<Value>(lo_code), static_cast<Value>(hi_code));
+  alignas(32) Value block[kPackedBlock];
+  for (size_t i = 0; i < n; i += kPackedBlock) {
+    const size_t len = std::min(kPackedBlock, n - i);
+    UnpackBlock(words, bits, mask, i, len, 0, block);
+    // Per-block position base keeps the emitted keys globally ascending.
+    SelectRange_Avx2(block, len, pred, base + static_cast<Key>(i), out);
+  }
+}
+
+CRACKDB_AVX2 void FoldPacked_Avx2(FoldOp op, const uint64_t* words,
+                                  unsigned bits, size_t n, Value value_base,
+                                  uint64_t lo_code, uint64_t hi_code,
+                                  Value* acc, bool* valid) {
+  const uint64_t mask = bits == 0 ? 0 : (uint64_t{1} << bits) - 1;
+  if (bits == 0 || lo_code != 0 || hi_code != mask) {
+    // Filtered folds stay in the predicated portable loop; the SIMD win
+    // below is for the common unfiltered decode-and-fold.
+    FoldPacked_Sse2(op, words, bits, n, value_base, lo_code, hi_code, acc,
+                    valid);
+    return;
+  }
+  alignas(32) Value block[kPackedBlock];
+  for (size_t i = 0; i < n; i += kPackedBlock) {
+    const size_t len = std::min(kPackedBlock, n - i);
+    UnpackBlock(words, bits, mask, i, len,
+                static_cast<uint64_t>(value_base), block);
+    FoldSpan_Avx2(op, block, len, acc, valid);
+  }
+}
+
+size_t CountRle_Avx2(const Value* run_values, const uint32_t* run_starts,
+                     size_t num_runs, const RangePredicate& pred) {
+  // Run arrays are short (one entry per run, not per row); the predicated
+  // portable loop is already bandwidth-bound on them.
+  return CountRle_Sse2(run_values, run_starts, num_runs, pred);
+}
+
+void SelectRle_Avx2(const Value* run_values, const uint32_t* run_starts,
+                    size_t num_runs, const RangePredicate& pred, Key base,
+                    std::vector<Key>* out) {
+  SelectRle_Sse2(run_values, run_starts, num_runs, pred, base, out);
+}
+
+void FoldRle_Avx2(FoldOp op, const Value* run_values,
+                  const uint32_t* run_starts, size_t num_runs,
+                  const RangePredicate& pred, Value* acc, bool* valid) {
+  FoldRle_Sse2(op, run_values, run_starts, num_runs, pred, acc, valid);
+}
+
 }  // namespace crackdb::kernels::detail
 
 #else  // !CRACKDB_AVX2_ARM
@@ -613,6 +717,35 @@ void Gather_Avx2(const Value* values, const Key* keys, size_t n, Value* out) {
 void FoldGroup_Avx2(FoldOp op, const Value* values, const Key* keys,
                     const uint32_t* group_of, size_t n, Value* accs) {
   FoldGroup_Sse2(op, values, keys, group_of, n, accs);
+}
+size_t CountPacked_Avx2(const uint64_t* words, unsigned bits, size_t n,
+                        uint64_t lo_code, uint64_t hi_code) {
+  return CountPacked_Sse2(words, bits, n, lo_code, hi_code);
+}
+void SelectPacked_Avx2(const uint64_t* words, unsigned bits, size_t n,
+                       uint64_t lo_code, uint64_t hi_code, Key base,
+                       std::vector<Key>* out) {
+  SelectPacked_Sse2(words, bits, n, lo_code, hi_code, base, out);
+}
+void FoldPacked_Avx2(FoldOp op, const uint64_t* words, unsigned bits,
+                     size_t n, Value value_base, uint64_t lo_code,
+                     uint64_t hi_code, Value* acc, bool* valid) {
+  FoldPacked_Sse2(op, words, bits, n, value_base, lo_code, hi_code, acc,
+                  valid);
+}
+size_t CountRle_Avx2(const Value* run_values, const uint32_t* run_starts,
+                     size_t num_runs, const RangePredicate& pred) {
+  return CountRle_Sse2(run_values, run_starts, num_runs, pred);
+}
+void SelectRle_Avx2(const Value* run_values, const uint32_t* run_starts,
+                    size_t num_runs, const RangePredicate& pred, Key base,
+                    std::vector<Key>* out) {
+  SelectRle_Sse2(run_values, run_starts, num_runs, pred, base, out);
+}
+void FoldRle_Avx2(FoldOp op, const Value* run_values,
+                  const uint32_t* run_starts, size_t num_runs,
+                  const RangePredicate& pred, Value* acc, bool* valid) {
+  FoldRle_Sse2(op, run_values, run_starts, num_runs, pred, acc, valid);
 }
 
 }  // namespace crackdb::kernels::detail

@@ -199,6 +199,81 @@ void Gather_Scalar(const Value* values, const Key* keys, size_t n,
   for (size_t i = 0; i < n; ++i) out[i] = values[keys[i]];
 }
 
+size_t CountPacked_Scalar(const uint64_t* words, unsigned bits, size_t n,
+                          uint64_t lo_code, uint64_t hi_code) {
+  if (bits == 0) return lo_code == 0 ? n : 0;
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t c = PackedGet(words, bits, i);
+    if (c >= lo_code && c <= hi_code) ++count;
+  }
+  return count;
+}
+
+void SelectPacked_Scalar(const uint64_t* words, unsigned bits, size_t n,
+                         uint64_t lo_code, uint64_t hi_code, Key base,
+                         std::vector<Key>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t c = bits == 0 ? 0 : PackedGet(words, bits, i);
+    if (c >= lo_code && c <= hi_code) {
+      out->push_back(base + static_cast<Key>(i));
+    }
+  }
+}
+
+void FoldPacked_Scalar(FoldOp op, const uint64_t* words, unsigned bits,
+                       size_t n, Value value_base, uint64_t lo_code,
+                       uint64_t hi_code, Value* acc, bool* valid) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t c = bits == 0 ? 0 : PackedGet(words, bits, i);
+    if (c < lo_code || c > hi_code) continue;
+    // The FOR decode: codes are offsets from the frame base, added with
+    // wrapping uint64 arithmetic so INT64_MIN-based frames round-trip.
+    const Value v =
+        static_cast<Value>(static_cast<uint64_t>(value_base) + c);
+    FoldSpan_Scalar(op, &v, 1, acc, valid);
+  }
+}
+
+size_t CountRle_Scalar(const Value* run_values, const uint32_t* run_starts,
+                       size_t num_runs, const RangePredicate& pred) {
+  size_t count = 0;
+  for (size_t r = 0; r < num_runs; ++r) {
+    if (pred.Matches(run_values[r])) {
+      count += run_starts[r + 1] - run_starts[r];
+    }
+  }
+  return count;
+}
+
+void SelectRle_Scalar(const Value* run_values, const uint32_t* run_starts,
+                      size_t num_runs, const RangePredicate& pred, Key base,
+                      std::vector<Key>* out) {
+  for (size_t r = 0; r < num_runs; ++r) {
+    if (!pred.Matches(run_values[r])) continue;
+    for (uint32_t pos = run_starts[r]; pos < run_starts[r + 1]; ++pos) {
+      out->push_back(base + pos);
+    }
+  }
+}
+
+void FoldRle_Scalar(FoldOp op, const Value* run_values,
+                    const uint32_t* run_starts, size_t num_runs,
+                    const RangePredicate& pred, Value* acc, bool* valid) {
+  for (size_t r = 0; r < num_runs; ++r) {
+    if (!pred.Matches(run_values[r])) continue;
+    const uint64_t len = run_starts[r + 1] - run_starts[r];
+    if (len == 0) continue;
+    Value v = run_values[r];
+    if (op == FoldOp::kSum) {
+      // One multiply per run instead of len adds; wrapping keeps it
+      // arm-identical with the positional sum.
+      v = static_cast<Value>(static_cast<uint64_t>(v) * len);
+    }
+    FoldSpan_Scalar(op, &v, 1, acc, valid);
+  }
+}
+
 void FoldGroup_Scalar(FoldOp op, const Value* values, const Key* keys,
                       const uint32_t* group_of, size_t n, Value* accs) {
   switch (op) {

@@ -206,4 +206,193 @@ void FoldGroup_Sse2(FoldOp op, const Value* values, const Key* keys,
   FoldGroup_Scalar(op, values, keys, group_of, n, accs);
 }
 
+namespace {
+
+/// Branch-free unpack against the pad-word guarantee (PackedWordCount
+/// allocates one trailing word): both words are read unconditionally; the
+/// double shift keeps `off == 0` defined (a single >> 64-off would be UB)
+/// and the mask drops the second word's contribution when the code does
+/// not straddle.
+inline uint64_t PackedGetPadded(const uint64_t* words, unsigned bits,
+                                size_t i, uint64_t mask) {
+  const size_t bit = i * static_cast<size_t>(bits);
+  const size_t w = bit >> 6;
+  const unsigned off = static_cast<unsigned>(bit & 63);
+  const uint64_t lo = words[w] >> off;
+  const uint64_t hi = (words[w + 1] << 1) << (63 - off);
+  return (lo | hi) & mask;
+}
+
+}  // namespace
+
+size_t CountPacked_Sse2(const uint64_t* words, unsigned bits, size_t n,
+                        uint64_t lo_code, uint64_t hi_code) {
+  if (bits == 0) return lo_code == 0 ? n : 0;
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t c = PackedGetPadded(words, bits, i, mask);
+    count += static_cast<size_t>((c >= lo_code) & (c <= hi_code));
+  }
+  return count;
+}
+
+void SelectPacked_Sse2(const uint64_t* words, unsigned bits, size_t n,
+                       uint64_t lo_code, uint64_t hi_code, Key base,
+                       std::vector<Key>* out) {
+  if (n == 0) return;
+  if (bits == 0) {
+    if (lo_code != 0) return;
+    const size_t old = out->size();
+    out->resize(old + n);
+    Key* dst = out->data() + old;
+    for (size_t i = 0; i < n; ++i) dst[i] = base + static_cast<Key>(i);
+    return;
+  }
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  const size_t old = out->size();
+  out->resize(old + n);
+  Key* dst = out->data() + old;
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t code = PackedGetPadded(words, bits, i, mask);
+    dst[c] = base + static_cast<Key>(i);
+    c += static_cast<size_t>((code >= lo_code) & (code <= hi_code));
+  }
+  out->resize(old + c);
+}
+
+void FoldPacked_Sse2(FoldOp op, const uint64_t* words, unsigned bits,
+                     size_t n, Value value_base, uint64_t lo_code,
+                     uint64_t hi_code, Value* acc, bool* valid) {
+  if (bits == 0) {
+    if (lo_code != 0 || n == 0) return;
+    // Every value decodes to the frame base.
+    if (op == FoldOp::kSum) {
+      const Value total = static_cast<Value>(
+          static_cast<uint64_t>(value_base) * static_cast<uint64_t>(n));
+      FoldSpan_Scalar(op, &total, 1, acc, valid);
+    } else {
+      FoldSpan_Scalar(op, &value_base, 1, acc, valid);
+    }
+    return;
+  }
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  size_t matched = 0;
+  Value result = 0;
+  switch (op) {
+    case FoldOp::kSum: {
+      uint64_t sum = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t c = PackedGetPadded(words, bits, i, mask);
+        const uint64_t match =
+            static_cast<uint64_t>((c >= lo_code) & (c <= hi_code));
+        sum += (static_cast<uint64_t>(value_base) + c) * match;
+        matched += match;
+      }
+      result = static_cast<Value>(sum);
+      break;
+    }
+    case FoldOp::kMin: {
+      // Predicated with the fold identity: a non-match contributes
+      // kMaxValue, which can never lower the minimum.
+      Value best = kMaxValue;
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t c = PackedGetPadded(words, bits, i, mask);
+        const bool match = (c >= lo_code) & (c <= hi_code);
+        const Value v = static_cast<Value>(
+            static_cast<uint64_t>(value_base) + c);
+        best = std::min(best, match ? v : kMaxValue);
+        matched += static_cast<size_t>(match);
+      }
+      result = best;
+      break;
+    }
+    case FoldOp::kMax: {
+      Value best = kMinValue;
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t c = PackedGetPadded(words, bits, i, mask);
+        const bool match = (c >= lo_code) & (c <= hi_code);
+        const Value v = static_cast<Value>(
+            static_cast<uint64_t>(value_base) + c);
+        best = std::max(best, match ? v : kMinValue);
+        matched += static_cast<size_t>(match);
+      }
+      result = best;
+      break;
+    }
+  }
+  if (matched != 0) FoldSpan_Scalar(op, &result, 1, acc, valid);
+}
+
+size_t CountRle_Sse2(const Value* run_values, const uint32_t* run_starts,
+                     size_t num_runs, const RangePredicate& pred) {
+  const ClosedRange r = NormalizeRange(pred);
+  if (r.empty) return 0;
+  size_t count = 0;
+  for (size_t i = 0; i < num_runs; ++i) {
+    const Value v = run_values[i];
+    const size_t len = run_starts[i + 1] - run_starts[i];
+    count += len * static_cast<size_t>((v >= r.lo) & (v <= r.hi));
+  }
+  return count;
+}
+
+void SelectRle_Sse2(const Value* run_values, const uint32_t* run_starts,
+                    size_t num_runs, const RangePredicate& pred, Key base,
+                    std::vector<Key>* out) {
+  // Variable-length run emission has no useful predicated form; the
+  // run-granular scalar loop is already one test per run.
+  SelectRle_Scalar(run_values, run_starts, num_runs, pred, base, out);
+}
+
+void FoldRle_Sse2(FoldOp op, const Value* run_values,
+                  const uint32_t* run_starts, size_t num_runs,
+                  const RangePredicate& pred, Value* acc, bool* valid) {
+  const ClosedRange r = NormalizeRange(pred);
+  if (r.empty || num_runs == 0) return;
+  size_t matched = 0;
+  Value result = 0;
+  switch (op) {
+    case FoldOp::kSum: {
+      uint64_t sum = 0;
+      for (size_t i = 0; i < num_runs; ++i) {
+        const Value v = run_values[i];
+        const uint64_t len = run_starts[i + 1] - run_starts[i];
+        const uint64_t match =
+            static_cast<uint64_t>((v >= r.lo) & (v <= r.hi));
+        sum += static_cast<uint64_t>(v) * len * match;
+        matched += match * len;
+      }
+      result = static_cast<Value>(sum);
+      break;
+    }
+    case FoldOp::kMin: {
+      Value best = kMaxValue;
+      for (size_t i = 0; i < num_runs; ++i) {
+        const Value v = run_values[i];
+        const bool nonempty = run_starts[i + 1] != run_starts[i];
+        const bool match = (v >= r.lo) & (v <= r.hi) & nonempty;
+        best = std::min(best, match ? v : kMaxValue);
+        matched += static_cast<size_t>(match);
+      }
+      result = best;
+      break;
+    }
+    case FoldOp::kMax: {
+      Value best = kMinValue;
+      for (size_t i = 0; i < num_runs; ++i) {
+        const Value v = run_values[i];
+        const bool nonempty = run_starts[i + 1] != run_starts[i];
+        const bool match = (v >= r.lo) & (v <= r.hi) & nonempty;
+        best = std::max(best, match ? v : kMinValue);
+        matched += static_cast<size_t>(match);
+      }
+      result = best;
+      break;
+    }
+  }
+  if (matched != 0) FoldSpan_Scalar(op, &result, 1, acc, valid);
+}
+
 }  // namespace crackdb::kernels::detail

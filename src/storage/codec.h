@@ -1,0 +1,148 @@
+#ifndef CRACKDB_STORAGE_CODEC_H_
+#define CRACKDB_STORAGE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "kernels/kernels.h"
+
+namespace crackdb {
+
+/// Lightweight per-column codecs for cold partitions.
+///
+/// The design goal is crack-without-decompress: every codec keeps codes in
+/// value order (FOR adds a constant, dictionary codes index a sorted dict,
+/// RLE stores plain run values), so a range predicate translates into a
+/// closed code range and count/select/fold run directly on the encoded
+/// form via the packed/RLE kernel-table entries. Queries the encoded
+/// domain cannot serve (tuple reconstruction, writes, multi-selection
+/// plans) decompress the partition first — crack-on-touch — which is how
+/// the hot/raw vs cold/compressed split self-organizes.
+enum class CodecKind : uint8_t {
+  kRaw = 0,   ///< No encoding; the column owns a plain std::vector<Value>.
+  kFor = 1,   ///< Frame-of-reference: bit-packed offsets from the minimum.
+  kRle = 2,   ///< Run-length: (value, start) runs for low-entropy orders.
+  kDict = 3,  ///< Dictionary: bit-packed indexes into a sorted dictionary.
+};
+
+/// Short stable name for stats and bench JSON ("raw", "for", "rle", "dict").
+const char* CodecName(CodecKind kind);
+
+/// Knobs for codec selection and the adaptive hot/cold layout policy.
+/// Embedded in AdaptiveConfig; `enabled` gates everything, and
+/// `compress_on_load` additionally compresses eligible partitions at
+/// RegisterSharded time (before any access statistics exist).
+struct CompressionConfig {
+  bool enabled = false;
+  bool compress_on_load = false;
+  /// Partitions (strictly) smaller than this stay raw: the encoded scan
+  /// cannot beat the cracked index on data this small.
+  size_t min_rows = 1024;
+  /// Dictionary is chosen only when the distinct-value count is at most
+  /// this (keeps the dict L1/L2-resident for the fold histogram pass).
+  size_t max_dict_card = 4096;
+  /// RLE is chosen only when the average run length reaches this.
+  double min_avg_run = 4.0;
+  /// FOR is chosen only when max-min fits this many bits.
+  unsigned max_for_bits = 32;
+  /// Adaptive layout thresholds on the workload histogram's access share:
+  /// a partition at or below `cold_compress_share` is compressed, one at
+  /// or above `hot_decompress_share` is decompressed so queries use the
+  /// cracked index again.
+  double cold_compress_share = 0.02;
+  double hot_decompress_share = 0.25;
+};
+
+/// One encoded column. Which members are live depends on `kind`:
+///  - kFor:  `words`/`bits` hold codes, value = for_base + code (wrapping
+///           uint64 add, so INT64_MIN-based frames round-trip); codes run
+///           0..for_range.
+///  - kDict: `words`/`bits` hold indexes into the sorted `dict`.
+///  - kRle:  `run_values[r]` repeats over positions
+///           [run_starts[r], run_starts[r+1]); run_starts has
+///           num_runs + 1 entries with run_starts[0] == 0 and
+///           run_starts.back() == n.
+/// Packed code layout and the pad-word convention are defined in
+/// kernels.h (PackedWordCount/PackedGet/PackedSet).
+struct EncodedColumn {
+  CodecKind kind = CodecKind::kRaw;
+  size_t n = 0;
+  unsigned bits = 0;
+  std::vector<uint64_t> words;
+  Value for_base = 0;
+  uint64_t for_range = 0;
+  std::vector<Value> dict;
+  std::vector<Value> run_values;
+  std::vector<uint32_t> run_starts;
+  /// Aggregate metadata, filled at encode time:
+  ///  - kDict: code_hist[c] = occurrences of dict[c], so counts and folds
+  ///    over a code range are O(|dict|) histogram walks, not packed scans.
+  ///    Kept only when the dictionary is small relative to the column
+  ///    (each entry amortized over >= 16 rows); when empty, the encoded
+  ///    kernels scan the packed codes instead. Counts fit uint32_t because
+  ///    EncodeColumn refuses columns with more rows than Key can address.
+  ///  - kFor: code_sum = sum of all codes mod 2^64, so the unfiltered Sum
+  ///    is n * for_base + code_sum and Min/Max are the frame endpoints.
+  std::vector<uint32_t> code_hist;
+  uint64_t code_sum = 0;
+
+  size_t num_runs() const {
+    return run_starts.empty() ? 0 : run_starts.size() - 1;
+  }
+};
+
+/// Picks a codec for `values` by a single stats pass (min/max/runs, plus a
+/// bounded distinct count). Preference order RLE > dict > FOR: RLE wins
+/// on byte savings when runs are long, dict beats FOR whenever the value
+/// range is wide but the domain is small. Returns kRaw when nothing
+/// qualifies (including values.size() < config.min_rows).
+CodecKind ChooseCodec(std::span<const Value> values,
+                      const CompressionConfig& config);
+
+/// Encodes `values` with `kind`. Returns false (leaving *out unspecified)
+/// when the codec cannot represent the data: FOR range needing >63 bits,
+/// or any codec over more rows than Key can address. kRaw always fails
+/// (there is nothing to encode).
+bool EncodeColumn(std::span<const Value> values, CodecKind kind,
+                  EncodedColumn* out);
+
+/// Decodes the full column back to tuple order.
+std::vector<Value> DecodeColumn(const EncodedColumn& enc);
+
+/// Random access into the encoded form (RLE costs a binary search).
+Value DecodeAt(const EncodedColumn& enc, size_t i);
+
+/// Resident payload bytes of the encoded form (vector storage, not
+/// sizeof overhead); the raw equivalent is n * sizeof(Value).
+size_t EncodedBytes(const EncodedColumn& enc);
+
+/// Count of positions matching `pred`, evaluated in the encoded domain.
+size_t EncodedCount(const EncodedColumn& enc, const RangePredicate& pred);
+
+/// Appends `base + i` for every matching position i, ascending.
+void EncodedSelect(const EncodedColumn& enc, const RangePredicate& pred,
+                   Key base, std::vector<Key>* out);
+
+/// Folds every position into (*acc, *valid) with FoldSpan merge
+/// semantics (wrapping sums; *valid set once any value folds in).
+void EncodedFold(const EncodedColumn& enc, kernels::FoldOp op, Value* acc,
+                 bool* valid);
+
+/// Folds matching positions only; returns the match count.
+size_t EncodedFoldFiltered(const EncodedColumn& enc,
+                           const RangePredicate& pred, kernels::FoldOp op,
+                           Value* acc, bool* valid);
+
+/// Folds the values at `positions` (selection vector from another
+/// column's EncodedSelect, already rebased to this partition).
+void EncodedGatherFold(const EncodedColumn& enc,
+                       std::span<const Key> positions, kernels::FoldOp op,
+                       Value* acc, bool* valid);
+
+}  // namespace crackdb
+
+#endif  // CRACKDB_STORAGE_CODEC_H_

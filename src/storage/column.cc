@@ -1,8 +1,43 @@
 #include "storage/column.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "kernels/kernels.h"
 
 namespace crackdb {
+
+void Column::CheckRaw(const char* op) const {
+  if (encoded_ == nullptr) return;
+  std::fprintf(stderr,
+               "crackdb: Column::%s on compressed column '%s' (codec %s); "
+               "decompress first\n",
+               op, name_.c_str(), CodecName(encoded_->kind));
+  std::abort();
+}
+
+bool Column::Compress(const CompressionConfig& config) {
+  if (encoded_ != nullptr) return true;
+  const CodecKind kind = ChooseCodec(values_, config);
+  if (kind == CodecKind::kRaw) return false;
+  return CompressAs(kind);
+}
+
+bool Column::CompressAs(CodecKind kind) {
+  if (encoded_ != nullptr) return encoded_->kind == kind;
+  auto enc = std::make_unique<EncodedColumn>();
+  if (!EncodeColumn(values_, kind, enc.get())) return false;
+  encoded_ = std::move(enc);
+  values_.clear();
+  values_.shrink_to_fit();
+  return true;
+}
+
+void Column::Decompress() const {
+  if (encoded_ == nullptr) return;
+  values_ = DecodeColumn(*encoded_);
+  encoded_.reset();
+}
 
 std::vector<Key> Column::Select(const RangePredicate& pred) const {
   return Select(pred, nullptr);
@@ -10,6 +45,7 @@ std::vector<Key> Column::Select(const RangePredicate& pred) const {
 
 std::vector<Key> Column::Select(const RangePredicate& pred,
                                 const std::vector<bool>* deleted) const {
+  CheckRaw("Select");
   std::vector<Key> out;
   if (deleted == nullptr) {
     kernels::SelectRange(values_.data(), values_.size(), pred, /*base=*/0,
@@ -29,6 +65,7 @@ std::vector<Key> Column::Select(const RangePredicate& pred,
 }
 
 std::vector<Value> Column::Reconstruct(std::span<const Key> positions) const {
+  CheckRaw("Reconstruct");
   std::vector<Value> out(positions.size());
   kernels::Gather(values_.data(), positions.data(), positions.size(),
                   out.data());
@@ -36,6 +73,7 @@ std::vector<Value> Column::Reconstruct(std::span<const Key> positions) const {
 }
 
 size_t Column::CountMatches(const RangePredicate& pred) const {
+  CheckRaw("CountMatches");
   return kernels::CountRange(values_.data(), values_.size(), pred);
 }
 

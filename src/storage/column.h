@@ -1,11 +1,13 @@
 #ifndef CRACKDB_STORAGE_COLUMN_H_
 #define CRACKDB_STORAGE_COLUMN_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "storage/codec.h"
 
 namespace crackdb {
 
@@ -16,27 +18,49 @@ namespace crackdb {
 /// relational tuple sit at the same position across the relation's columns,
 /// which is the tuple-order alignment that makes positional tuple
 /// reconstruction a sequential merge (paper Section 2.1).
+///
+/// A column is either raw (a plain value vector) or compressed (an
+/// EncodedColumn, see codec.h). Compression is a physical-layout state:
+/// logical content is unchanged, and `operator[]`/`size()` work in both
+/// states. The raw-only accessors (values(), Select, Reconstruct, the
+/// mutators) die on a compressed column — callers decompress first, which
+/// is the crack-on-touch contract enforced by the engine under the
+/// partition's exclusive lock.
 class Column {
  public:
   explicit Column(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
-  size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
+  size_t size() const {
+    return encoded_ != nullptr ? encoded_->n : values_.size();
+  }
+  bool empty() const { return size() == 0; }
 
-  Value operator[](size_t i) const { return values_[i]; }
+  Value operator[](size_t i) const {
+    return encoded_ != nullptr ? DecodeAt(*encoded_, i) : values_[i];
+  }
 
-  const std::vector<Value>& values() const { return values_; }
+  const std::vector<Value>& values() const {
+    CheckRaw("values");
+    return values_;
+  }
 
   void Reserve(size_t n) { values_.reserve(n); }
-  void Append(Value v) { values_.push_back(v); }
+  void Append(Value v) {
+    CheckRaw("Append");
+    values_.push_back(v);
+  }
   void AppendAll(std::span<const Value> vs) {
+    CheckRaw("AppendAll");
     values_.insert(values_.end(), vs.begin(), vs.end());
   }
 
   /// In-place overwrite; used only by the update machinery of the plain
   /// engine (cracking engines never mutate base columns).
-  void Set(size_t i, Value v) { values_[i] = v; }
+  void Set(size_t i, Value v) {
+    CheckRaw("Set");
+    values_[i] = v;
+  }
 
   /// MonetDB's `select(A, v1, v2)`: returns the keys (positions) of all
   /// qualifying tuples, in key order. Because base columns are scanned in
@@ -58,9 +82,43 @@ class Column {
   /// Count of qualifying tuples (scan); used by tests as ground truth.
   size_t CountMatches(const RangePredicate& pred) const;
 
+  /// --- Compression state ---
+
+  bool compressed() const { return encoded_ != nullptr; }
+  CodecKind codec() const {
+    return encoded_ != nullptr ? encoded_->kind : CodecKind::kRaw;
+  }
+  /// The encoded form, or null when raw.
+  const EncodedColumn* encoded() const { return encoded_.get(); }
+
+  /// Compresses with the codec ChooseCodec picks under `config`; returns
+  /// true iff the column is compressed afterwards (false: stays raw).
+  /// No-op (true) if already compressed.
+  bool Compress(const CompressionConfig& config);
+
+  /// Compresses with an explicit codec (tests, benches); returns false
+  /// and stays raw when the codec cannot represent the data.
+  bool CompressAs(CodecKind kind);
+
+  /// Restores the raw vector. Const because it changes only the physical
+  /// layout, never the logical content — callers still need the owning
+  /// partition's exclusive lock, exactly as for cracking a base column.
+  void Decompress() const;
+
+  /// Resident payload bytes of this column in its current layout.
+  size_t resident_bytes() const {
+    return encoded_ != nullptr ? EncodedBytes(*encoded_)
+                               : values_.size() * sizeof(Value);
+  }
+
  private:
+  void CheckRaw(const char* op) const;
+
   std::string name_;
-  std::vector<Value> values_;
+  /// `mutable` so Decompress() can be const (see above); both states are
+  /// guarded by the partition lock like every other column mutation.
+  mutable std::vector<Value> values_;
+  mutable std::unique_ptr<EncodedColumn> encoded_;
 };
 
 }  // namespace crackdb

@@ -71,4 +71,51 @@ void Relation::TrimLog(size_t new_begin) {
   log_begin_ = new_begin;
 }
 
+size_t Relation::Compress(const CompressionConfig& config) {
+  if (num_deleted_ != 0) return 0;
+  size_t compressed = 0;
+  for (auto& col : columns_) {
+    if (col->Compress(config)) ++compressed;
+  }
+  return compressed;
+}
+
+size_t Relation::CompressAs(CodecKind kind) {
+  if (num_deleted_ != 0) return 0;
+  size_t compressed = 0;
+  for (auto& col : columns_) {
+    if (col->CompressAs(kind)) ++compressed;
+  }
+  return compressed;
+}
+
+void Relation::Decompress() const {
+  for (const auto& col : columns_) col->Decompress();
+}
+
+bool Relation::compressed() const {
+  for (const auto& col : columns_) {
+    if (col->compressed()) return true;
+  }
+  return false;
+}
+
+size_t Relation::resident_column_bytes() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col->resident_bytes();
+  return bytes;
+}
+
+std::string Relation::CodecSummary() const {
+  std::string out;
+  for (const auto& col : columns_) {
+    if (!col->compressed()) continue;
+    const char* name = CodecName(col->codec());
+    if (out.find(name) != std::string::npos) continue;
+    if (!out.empty()) out += "+";
+    out += name;
+  }
+  return out.empty() ? "raw" : out;
+}
+
 }  // namespace crackdb

@@ -91,6 +91,34 @@ class Relation {
   void TrimLog(size_t new_begin);
   size_t log_begin() const { return log_begin_; }
 
+  /// --- Compression (see storage/codec.h) ---
+
+  /// Compresses every column whose data qualifies under `config`; returns
+  /// the number of columns compressed (0 leaves the relation fully raw).
+  /// Refuses (returns 0) when the relation carries tombstones: the
+  /// encoded scans are tombstone-blind, so the compressed-partition
+  /// invariant is "no deleted rows".
+  size_t Compress(const CompressionConfig& config);
+
+  /// Compresses every column with an explicit codec (tests/benches);
+  /// returns the number of columns compressed.
+  size_t CompressAs(CodecKind kind);
+
+  /// Restores every column to its raw vector. Const for the same reason
+  /// as Column::Decompress: a physical-layout change under the owner's
+  /// exclusive lock.
+  void Decompress() const;
+
+  /// True iff any column is compressed.
+  bool compressed() const;
+
+  /// Resident bytes across all columns in their current layouts.
+  size_t resident_column_bytes() const;
+
+  /// Codec summary for stats: "raw" when fully raw, otherwise the
+  /// distinct codec names in ordinal order (e.g. "for", "for+rle").
+  std::string CodecSummary() const;
+
  private:
   std::string name_;
   std::vector<std::string> names_;

@@ -1,0 +1,341 @@
+// The compression layer end to end (docs/ARCHITECTURE.md, "Compression &
+// layouts"): a compress-on-load database answers every query shape
+// bit-for-bit like its raw twin across all engine kinds; encoded-servable
+// queries stay in the encoded domain while tuple reconstruction and
+// writes crack-on-touch (decompress the touched partition only); and the
+// adaptive layout loop compresses cold partitions and decompresses hot
+// ones through the regular tick machinery. Stats must expose all of it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util/workload.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/engine_factory.h"
+#include "engine/query.h"
+#include "storage/catalog.h"
+
+namespace crackdb {
+namespace {
+
+using bench::AttrName;
+using bench::ZipRows;
+
+class CompressionTest : public ::testing::Test {
+ protected:
+  static constexpr Value kDomain = 1'000;
+  static constexpr size_t kRows = 6'000;
+  static constexpr size_t kPartitions = 3;
+
+  void SetUp() override {
+    Rng rng(997);
+    source_ =
+        &bench::CreateUniformRelation(&catalog_, "R", 3, kRows, kDomain, &rng);
+  }
+
+  PartitionSpec RangeSpec() const {
+    PartitionSpec spec;
+    spec.kind = PartitionSpec::Kind::kRange;
+    spec.num_partitions = kPartitions;
+    spec.column = AttrName(1);
+    spec.domain_lo = 1;
+    spec.domain_hi = kDomain;
+    return spec;
+  }
+
+  /// Compression on, with the adaptive layout loop off (no background
+  /// ticks, no histogram) — the compress-on-load configuration.
+  static AdaptiveConfig CompressOnLoad() {
+    AdaptiveConfig adaptive;
+    adaptive.compression.enabled = true;
+    adaptive.compression.compress_on_load = true;
+    return adaptive;
+  }
+
+  std::unique_ptr<Database> MakeDb(const std::string& kind,
+                                   const PartitionSpec& spec,
+                                   const AdaptiveConfig& adaptive) {
+    DatabaseOptions options;
+    options.pool_threads = 2;
+    auto db = std::make_unique<Database>(options);
+    db->RegisterSharded("R", *source_, spec, kind, adaptive);
+    return db;
+  }
+
+  Catalog catalog_;
+  Relation* source_ = nullptr;
+};
+
+/// Flattened answers of the oracle query matrix: encoded-servable shapes
+/// (counts, same-column and cross-column aggregates, unfiltered folds)
+/// plus materializations, which force crack-on-touch on compressed arms.
+struct Answers {
+  std::vector<size_t> counts;
+  std::vector<Value> aggregates;
+  std::vector<std::multiset<std::vector<Value>>> rows;
+};
+
+/// Runs the matrix into *a (void so ASSERT_* can abort on query errors).
+void RunMatrix(Database* db, Answers* a) {
+  const std::vector<std::pair<Value, Value>> ranges = {
+      {1, 1'000}, {10, 500}, {400, 420}, {900, 1'000}};
+  for (const auto& [lo, hi] : ranges) {
+    auto count = db->From("R").Where(AttrName(1), lo, hi).Count().Execute();
+    ASSERT_TRUE(count.ok()) << count.error();
+    a->counts.push_back(count->count);
+    for (AggregateOp op :
+         {AggregateOp::kSum, AggregateOp::kMin, AggregateOp::kMax}) {
+      // Same-column filter (the EncodedFoldFiltered path) ...
+      auto same = db->From("R")
+                      .Where(AttrName(1), lo, hi)
+                      .Aggregate(op, AttrName(1))
+                      .Execute();
+      ASSERT_TRUE(same.ok()) << same.error();
+      a->aggregates.push_back(same->aggregate_valid ? same->aggregate : -1);
+      // ... and cross-column (EncodedSelect + gather-fold).
+      auto cross = db->From("R")
+                       .Where(AttrName(1), lo, hi)
+                       .Aggregate(op, AttrName(2))
+                       .Execute();
+      ASSERT_TRUE(cross.ok()) << cross.error();
+      a->aggregates.push_back(cross->aggregate_valid ? cross->aggregate : -1);
+    }
+  }
+  // Unfiltered shapes: whole-table count and fold.
+  auto all = db->From("R").Count().Execute();
+  ASSERT_TRUE(all.ok()) << all.error();
+  a->counts.push_back(all->count);
+  auto max = db->From("R").Aggregate(AggregateOp::kMax, AttrName(3)).Execute();
+  ASSERT_TRUE(max.ok()) << max.error();
+  a->aggregates.push_back(max->aggregate_valid ? max->aggregate : -1);
+  // Materializations last: on a compressed arm these crack-on-touch.
+  for (const auto& [lo, hi] : ranges) {
+    auto rows = db->From("R")
+                    .Where(AttrName(1), lo, hi)
+                    .Project(AttrName(2), AttrName(3))
+                    .Execute();
+    ASSERT_TRUE(rows.ok()) << rows.error();
+    a->rows.push_back(ZipRows(rows->rows));
+  }
+}
+
+TEST_F(CompressionTest, CompressedEqualsRawAcrossAllEngineKinds) {
+  for (const EngineKindEntry& entry : kEngineKinds) {
+    auto raw = MakeDb(entry.name, RangeSpec(), {});
+    auto compressed = MakeDb(entry.name, RangeSpec(), CompressOnLoad());
+
+    const TableStats before = compressed->Stats("R");
+    EXPECT_EQ(before.compressed_partitions, kPartitions) << entry.name;
+    EXPECT_GT(before.compressions, 0u) << entry.name;
+
+    Answers want, got;
+    ASSERT_NO_FATAL_FAILURE(RunMatrix(raw.get(), &want)) << entry.name;
+    ASSERT_NO_FATAL_FAILURE(RunMatrix(compressed.get(), &got)) << entry.name;
+    EXPECT_EQ(got.counts, want.counts) << entry.name;
+    EXPECT_EQ(got.aggregates, want.aggregates) << entry.name;
+    ASSERT_EQ(got.rows.size(), want.rows.size()) << entry.name;
+    for (size_t i = 0; i < want.rows.size(); ++i) {
+      EXPECT_EQ(got.rows[i], want.rows[i]) << entry.name << " query " << i;
+    }
+
+    const TableStats after = compressed->Stats("R");
+    EXPECT_GT(after.encoded_queries, 0u) << entry.name;
+    // The materializations cracked-on-touch every partition open.
+    EXPECT_GT(after.decompressions, 0u) << entry.name;
+    EXPECT_EQ(after.compressed_partitions, 0u) << entry.name;
+  }
+}
+
+TEST_F(CompressionTest, EncodedQueriesDoNotDecompress) {
+  auto db = MakeDb("selection-cracking", RangeSpec(), CompressOnLoad());
+  for (int q = 0; q < 10; ++q) {
+    auto count = db->From("R")
+                     .Where(AttrName(1), 1 + q * 50, 400 + q * 50)
+                     .Count()
+                     .Execute();
+    ASSERT_TRUE(count.ok()) << count.error();
+    auto sum = db->From("R")
+                   .Where(AttrName(1), 1 + q * 50, 400 + q * 50)
+                   .Aggregate(AggregateOp::kSum, AttrName(2))
+                   .Execute();
+    ASSERT_TRUE(sum.ok()) << sum.error();
+  }
+  const TableStats stats = db->Stats("R");
+  EXPECT_EQ(stats.compressed_partitions, kPartitions);
+  EXPECT_EQ(stats.decompressions, 0u);
+  EXPECT_GT(stats.encoded_queries, 0u);
+  for (const PartitionStats& ps : stats.per_partition) {
+    EXPECT_NE(ps.codec, "raw");
+    EXPECT_FALSE(ps.engine.empty());
+  }
+}
+
+TEST_F(CompressionTest, MaterializationCracksOnlyTouchedPartitions) {
+  auto db = MakeDb("selection-cracking", RangeSpec(), CompressOnLoad());
+  // A range inside partition 0's cover: range pruning sends the sub-query
+  // only there, so only that partition decompresses.
+  auto rows = db->From("R")
+                  .Where(AttrName(1), 1, 50)
+                  .Project(AttrName(2))
+                  .Execute();
+  ASSERT_TRUE(rows.ok()) << rows.error();
+  const TableStats stats = db->Stats("R");
+  EXPECT_EQ(stats.compressed_partitions, kPartitions - 1);
+  EXPECT_EQ(stats.decompressions, 1u);
+  EXPECT_EQ(stats.per_partition[0].codec, "raw");
+  EXPECT_NE(stats.per_partition[kPartitions - 1].codec, "raw");
+}
+
+TEST_F(CompressionTest, WritesDecompressTheTargetPartition) {
+  auto db = MakeDb("selection-cracking", RangeSpec(), CompressOnLoad());
+  ASSERT_EQ(db->Stats("R").compressed_partitions, kPartitions);
+
+  // Tombstoning an original row needs the raw layout: exactly its home
+  // partition decompresses.
+  EXPECT_TRUE(db->Delete("R", 0));
+  TableStats stats = db->Stats("R");
+  EXPECT_EQ(stats.compressed_partitions, kPartitions - 1);
+  EXPECT_GT(stats.decompressions, 0u);
+
+  // Inserts route by the organizing value (10 -> partition 0) and
+  // decompress their target the same way.
+  const Key key = db->Insert("R", std::vector<Value>{10, 7, 7});
+  EXPECT_NE(key, kInvalidKey);
+  stats = db->Stats("R");
+  EXPECT_EQ(stats.per_partition[0].codec, "raw");
+  EXPECT_GE(stats.decompressions, 1u);
+
+  // The inserted row is queryable immediately, and deletable again.
+  auto count = db->From("R").Where(AttrName(1), 10, 10).Count().Execute();
+  ASSERT_TRUE(count.ok()) << count.error();
+  EXPECT_GT(count->count, 0u);
+  EXPECT_TRUE(db->Delete("R", key));
+  auto after = db->From("R").Where(AttrName(1), 10, 10).Count().Execute();
+  ASSERT_TRUE(after.ok()) << after.error();
+  EXPECT_EQ(after->count, count->count - 1);
+}
+
+TEST_F(CompressionTest, AdaptiveTickCompressesColdAndDecompressesHot) {
+  AdaptiveConfig adaptive;
+  adaptive.enabled = true;
+  adaptive.compression.enabled = true;
+  adaptive.min_accesses = 8;
+  adaptive.cooldown_ticks = 0;
+  // Neutralize split/merge so the layout actions are the only candidates.
+  adaptive.hot_share = 1.1;
+  adaptive.cold_share = 0.0;
+  adaptive.compression.min_rows = 256;
+  auto db = MakeDb("selection-cracking", RangeSpec(), adaptive);
+  ASSERT_EQ(db->Stats("R").compressed_partitions, 0u);
+
+  // Hammer partition 0; the untouched partitions turn cold. Each tick
+  // executes at most one action, so loop until the layout settles.
+  for (int round = 0; round < 6 && db->Stats("R").compressed_partitions < 1;
+       ++round) {
+    for (int q = 0; q < 32; ++q) {
+      auto count = db->From("R").Where(AttrName(1), 1, 300).Count().Execute();
+      ASSERT_TRUE(count.ok()) << count.error();
+    }
+    (void)db->MaybeRepartition("R");
+  }
+  TableStats stats = db->Stats("R");
+  EXPECT_GT(stats.compressions, 0u);
+  ASSERT_GT(stats.compressed_partitions, 0u);
+
+  // Find a compressed partition and hammer its cover range: its access
+  // share crosses hot_decompress_share and a tick restores the raw (and
+  // crackable) layout.
+  size_t target = stats.per_partition.size();
+  for (size_t i = 0; i < stats.per_partition.size(); ++i) {
+    if (stats.per_partition[i].codec != "raw") {
+      target = i;
+      break;
+    }
+  }
+  ASSERT_LT(target, stats.per_partition.size());
+  const Value lo = stats.per_partition[target].cover_lo;
+  const Value hi = stats.per_partition[target].cover_hi;
+  bool decompressed = false;
+  for (int round = 0; round < 6 && !decompressed; ++round) {
+    for (int q = 0; q < 32; ++q) {
+      auto count = db->From("R").Where(AttrName(1), lo, hi).Count().Execute();
+      ASSERT_TRUE(count.ok()) << count.error();
+    }
+    (void)db->MaybeRepartition("R");
+    decompressed = db->Stats("R").per_partition[target].codec == "raw";
+  }
+  EXPECT_TRUE(decompressed);
+  EXPECT_GT(db->Stats("R").decompressions, 0u);
+}
+
+TEST_F(CompressionTest, HashShardedTablesCompressOnLoadOnly) {
+  PartitionSpec spec;
+  spec.kind = PartitionSpec::Kind::kHash;
+  spec.num_partitions = kPartitions;
+  spec.column = AttrName(1);
+  AdaptiveConfig adaptive = CompressOnLoad();
+  adaptive.enabled = true;  // requested, but hash sharding cannot adapt
+  auto db = MakeDb("selection-cracking", spec, adaptive);
+
+  const TableStats before = db->Stats("R");
+  EXPECT_EQ(before.compressed_partitions, kPartitions);
+  EXPECT_FALSE(db->MaybeRepartition("R"));
+
+  // Encoded counts agree with a raw twin; crack-on-touch still works.
+  auto raw = MakeDb("selection-cracking", spec, {});
+  for (const auto& [lo, hi] : std::vector<std::pair<Value, Value>>{
+           {1, kDomain}, {100, 400}, {700, 710}}) {
+    auto got = db->From("R").Where(AttrName(1), lo, hi).Count().Execute();
+    auto want = raw->From("R").Where(AttrName(1), lo, hi).Count().Execute();
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(got->count, want->count);
+    auto grows = db->From("R")
+                     .Where(AttrName(1), lo, hi)
+                     .Project(AttrName(2))
+                     .Execute();
+    auto wrows = raw->From("R")
+                     .Where(AttrName(1), lo, hi)
+                     .Project(AttrName(2))
+                     .Execute();
+    ASSERT_TRUE(grows.ok() && wrows.ok());
+    EXPECT_EQ(ZipRows(grows->rows), ZipRows(wrows->rows));
+  }
+  EXPECT_GT(db->Stats("R").decompressions, 0u);
+}
+
+TEST_F(CompressionTest, StatsReportFootprintAndLayout) {
+  auto raw = MakeDb("selection-cracking", RangeSpec(), {});
+  auto compressed =
+      MakeDb("selection-cracking", RangeSpec(), CompressOnLoad());
+  const TableStats r = raw->Stats("R");
+  const TableStats c = compressed->Stats("R");
+
+  // Raw layout: 3 columns of 8 bytes per row slot.
+  EXPECT_EQ(r.resident_column_bytes, kRows * 3 * sizeof(Value));
+  EXPECT_DOUBLE_EQ(r.bytes_per_row, 24.0);
+  EXPECT_EQ(r.compressed_partitions, 0u);
+  for (const PartitionStats& ps : r.per_partition) {
+    EXPECT_EQ(ps.codec, "raw");
+    EXPECT_EQ(ps.resident_bytes, ps.rows * 3 * sizeof(Value));
+  }
+
+  // Compressed: the narrow uniform domain packs into far fewer bits.
+  EXPECT_LT(c.resident_column_bytes * 2, r.resident_column_bytes)
+      << "expected at least 2x footprint reduction";
+  EXPECT_LT(c.bytes_per_row, r.bytes_per_row / 2);
+  size_t rollup = 0;
+  for (const PartitionStats& ps : c.per_partition) {
+    EXPECT_NE(ps.codec, "raw");
+    rollup += ps.resident_bytes;
+  }
+  EXPECT_EQ(rollup, c.resident_column_bytes);
+}
+
+}  // namespace
+}  // namespace crackdb

@@ -521,6 +521,196 @@ TEST(KernelGatherTest, GatherMatchesScalarReference) {
 }
 
 // ---------------------------------------------------------------------------
+// Encoded-domain kernels: packed + RLE entries vs the scalar arm
+// ---------------------------------------------------------------------------
+
+/// Packs `codes` (each < 2^bits) into the shared bit-packed layout.
+std::vector<uint64_t> PackCodes(const std::vector<uint64_t>& codes,
+                                unsigned bits) {
+  std::vector<uint64_t> words(kernels::PackedWordCount(bits, codes.size()),
+                              0);
+  if (bits == 0) return words;  // all codes are 0; words stay zero
+  for (size_t i = 0; i < codes.size(); ++i) {
+    kernels::PackedSet(words.data(), bits, i, codes[i]);
+  }
+  return words;
+}
+
+/// Code-domain intervals covering full range, interior, point, and the
+/// single-code edge cases for a given bit width.
+std::vector<std::pair<uint64_t, uint64_t>> CodeRanges(unsigned bits) {
+  const uint64_t max =
+      bits == 0 ? 0 : (bits == 63 ? (uint64_t{1} << 63) - 1
+                                  : (uint64_t{1} << bits) - 1);
+  std::vector<std::pair<uint64_t, uint64_t>> ranges = {
+      {0, max}, {0, 0}, {max, max}, {max / 2, max / 2}};
+  if (max >= 2) {
+    ranges.push_back({max / 3, (2 * (max / 3))});
+    ranges.push_back({1, max - 1});
+  }
+  return ranges;
+}
+
+TEST(KernelPackedTest, PackedKernelsMatchScalarReference) {
+  Rng rng(71);
+  const unsigned kBits[] = {0, 1, 7, 8, 31, 32, 63};
+  for (Isa arm : SimdArms()) {
+    const KernelTable& table = Table(arm);
+    for (size_t n : kSizes) {
+      for (unsigned bits : kBits) {
+        std::vector<uint64_t> codes(n, 0);
+        if (bits > 0) {
+          const uint64_t mask = bits == 63 ? (uint64_t{1} << 63) - 1
+                                           : (uint64_t{1} << bits) - 1;
+          for (size_t i = 0; i < n; ++i) codes[i] = rng.Next() & mask;
+        }
+        const std::vector<uint64_t> words = PackCodes(codes, bits);
+        for (const auto& [lo, hi] : CodeRanges(bits)) {
+          // Local oracle: the scalar arm must itself agree with a direct
+          // loop over the unpacked codes.
+          size_t oracle = 0;
+          for (size_t i = 0; i < n; ++i) {
+            if (codes[i] >= lo && codes[i] <= hi) ++oracle;
+          }
+          const size_t want =
+              Table(Isa::kScalar).count_packed(words.data(), bits, n, lo, hi);
+          ASSERT_EQ(want, oracle) << "scalar vs oracle n=" << n
+                                  << " bits=" << bits;
+          EXPECT_EQ(table.count_packed(words.data(), bits, n, lo, hi), want)
+              << kernels::IsaName(arm) << " n=" << n << " bits=" << bits;
+
+          std::vector<Key> got{777}, want_keys{777};  // appends only
+          Table(Isa::kScalar)
+              .select_packed(words.data(), bits, n, lo, hi, 100, &want_keys);
+          table.select_packed(words.data(), bits, n, lo, hi, 100, &got);
+          EXPECT_EQ(got, want_keys)
+              << kernels::IsaName(arm) << " n=" << n << " bits=" << bits;
+
+          // Fold with a negative base and with a wrapping (INT64_MIN)
+          // frame base; untouched-when-empty and merge semantics both.
+          for (Value base : {Value{0}, Value{-1'000'000}, kMinValue}) {
+            for (FoldOp op : {FoldOp::kSum, FoldOp::kMin, FoldOp::kMax}) {
+              Value acc_s = 123, acc_a = 123;
+              bool valid_s = false, valid_a = false;
+              Table(Isa::kScalar)
+                  .fold_packed(op, words.data(), bits, n, base, lo, hi,
+                               &acc_s, &valid_s);
+              table.fold_packed(op, words.data(), bits, n, base, lo, hi,
+                                &acc_a, &valid_a);
+              EXPECT_EQ(acc_a, acc_s)
+                  << kernels::IsaName(arm) << " n=" << n << " bits=" << bits
+                  << " base=" << base << " op=" << static_cast<int>(op);
+              EXPECT_EQ(valid_a, valid_s);
+              if (!valid_s) {
+                EXPECT_EQ(acc_s, 123);  // untouched when empty
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+struct RleRuns {
+  std::vector<Value> values;
+  std::vector<uint32_t> starts;
+};
+
+/// Random RLE shape: `num_runs` runs over a small value domain, with some
+/// zero-length runs mixed in (legal: run_starts is merely non-decreasing).
+RleRuns MakeRuns(Rng* rng, size_t num_runs, Value domain) {
+  RleRuns r;
+  r.starts.push_back(0);
+  uint32_t pos = 0;
+  for (size_t i = 0; i < num_runs; ++i) {
+    r.values.push_back(rng->Uniform(1, domain));
+    const uint32_t len =
+        rng->Bernoulli(0.1)
+            ? 0
+            : static_cast<uint32_t>(rng->Uniform(1, 40));
+    pos += len;
+    r.starts.push_back(pos);
+  }
+  return r;
+}
+
+TEST(KernelRleTest, RleKernelsMatchScalarReference) {
+  Rng rng(83);
+  const Value domain = 300;
+  const size_t run_counts[] = {0, 1, 2, 3, 8, 17, 64, 255, 1000};
+  for (Isa arm : SimdArms()) {
+    const KernelTable& table = Table(arm);
+    for (size_t num_runs : run_counts) {
+      const RleRuns r = MakeRuns(&rng, num_runs, domain);
+      for (const RangePredicate& pred : OraclePredicates(domain)) {
+        // Local oracle for the scalar arm.
+        size_t oracle = 0;
+        for (size_t i = 0; i < num_runs; ++i) {
+          if (pred.Matches(r.values[i])) {
+            oracle += r.starts[i + 1] - r.starts[i];
+          }
+        }
+        const size_t want = Table(Isa::kScalar)
+                                .count_rle(r.values.data(), r.starts.data(),
+                                           num_runs, pred);
+        ASSERT_EQ(want, oracle) << "scalar vs oracle runs=" << num_runs;
+        EXPECT_EQ(table.count_rle(r.values.data(), r.starts.data(), num_runs,
+                                  pred),
+                  want)
+            << kernels::IsaName(arm) << " runs=" << num_runs;
+
+        std::vector<Key> got{777}, want_keys{777};
+        Table(Isa::kScalar)
+            .select_rle(r.values.data(), r.starts.data(), num_runs, pred,
+                        50, &want_keys);
+        table.select_rle(r.values.data(), r.starts.data(), num_runs, pred,
+                         50, &got);
+        EXPECT_EQ(got, want_keys)
+            << kernels::IsaName(arm) << " runs=" << num_runs;
+
+        for (FoldOp op : {FoldOp::kSum, FoldOp::kMin, FoldOp::kMax}) {
+          Value acc_s = 123, acc_a = 123;
+          bool valid_s = false, valid_a = false;
+          Table(Isa::kScalar)
+              .fold_rle(op, r.values.data(), r.starts.data(), num_runs, pred,
+                        &acc_s, &valid_s);
+          table.fold_rle(op, r.values.data(), r.starts.data(), num_runs,
+                         pred, &acc_a, &valid_a);
+          EXPECT_EQ(acc_a, acc_s) << kernels::IsaName(arm)
+                                  << " runs=" << num_runs
+                                  << " op=" << static_cast<int>(op);
+          EXPECT_EQ(valid_a, valid_s);
+          if (!valid_s) {
+            EXPECT_EQ(acc_s, 123);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelRleTest, RleSumWrapsModulo64AcrossArms) {
+  // A kMaxValue run long enough to overflow: sums add value * run_length
+  // wrapping mod 2^64, so every arm agrees bit-for-bit.
+  const std::vector<Value> values = {kMaxValue, 1};
+  const std::vector<uint32_t> starts = {0, 1000, 1001};
+  Value want = 0;
+  bool want_valid = false;
+  Table(Isa::kScalar)
+      .fold_rle(FoldOp::kSum, values.data(), starts.data(), 2,
+                RangePredicate{}, &want, &want_valid);
+  for (Isa arm : SimdArms()) {
+    Value got = 0;
+    bool got_valid = false;
+    Table(arm).fold_rle(FoldOp::kSum, values.data(), starts.data(), 2,
+                        RangePredicate{}, &got, &got_valid);
+    EXPECT_EQ(got, want) << kernels::IsaName(arm);
+    EXPECT_TRUE(got_valid);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Engine equality: whole queries answer identically on every arm
 // ---------------------------------------------------------------------------
 

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "bench_util/workload.h"
 #include "common/rng.h"
 #include "storage/catalog.h"
 
@@ -14,7 +15,7 @@ Relation& BuildRelation(Catalog* catalog, size_t rows, Value domain,
                         uint64_t seed, size_t attrs = 4) {
   Relation& rel = catalog->CreateRelation("R");
   for (size_t a = 1; a <= attrs; ++a) {
-    rel.AddColumn("A" + std::to_string(a));
+    rel.AddColumn(bench::AttrName(a));
   }
   Rng rng(seed);
   std::vector<Value> row(attrs);
@@ -130,7 +131,7 @@ TEST(PartialSidewaysTest, BudgetEnforcedAfterQueries) {
     PartialQueryRequest req;
     const Value lo = rng.Uniform(1, 7000);
     req.head_pred = RangePredicate::Closed(lo, lo + 800);
-    const std::string tail = "A" + std::to_string(2 + (q % 5));
+    const std::string tail = bench::AttrName(2 + (q % 5));
     req.tail_selections = {{tail, RangePredicate::Closed(1, 4000)}};
     req.projections = {tail};
     const PartialQueryResult r = set.Execute(req);
@@ -265,7 +266,7 @@ TEST_P(PartialSweep, MatchesScan) {
     if (rng.Bernoulli(0.7)) {
       const Value blo = rng.Uniform(1, 2500);
       req.tail_selections = {
-          {"A" + std::to_string(2 + (q % 2)),
+          {bench::AttrName(2 + (q % 2)),
            RangePredicate::Closed(blo, blo + 800)}};
     }
     req.projections = {"A4", "A5"};

@@ -91,7 +91,9 @@ INSTANTIATE_TEST_SUITE_P(AllTwelve, TpchQueryAgreement,
                          ::testing::Values(1, 3, 4, 6, 7, 8, 10, 12, 14, 15,
                                            19, 20),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "Q" + std::to_string(info.param);
+                           std::string name("Q");
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(TpchQueriesTest, Q1ProducesTheFourFlagStatusGroups) {
