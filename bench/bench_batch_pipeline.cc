@@ -30,6 +30,7 @@
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
 #include "bench_util/workload.h"
+#include "common/stats.h"
 #include "common/timer.h"
 #include "engine/database.h"
 #include "engine/plain_engine.h"
@@ -124,7 +125,7 @@ void Warmup(Database* db, size_t rows, uint64_t seed) {
 struct ModeResult {
   double ops_per_sec = 0;
   uint64_t checksum = 0;
-  LatencySummary latency;  // per op; batched ops share their batch's time
+  SeriesSummary latency;  // per op; batched ops share their batch's time
 };
 
 /// Runs every client's traffic through one database, either one op at a
@@ -214,7 +215,7 @@ ModeResult RunMode(const Relation& source, const PipelineOptions& opt,
     all_latencies.insert(all_latencies.end(), latencies[c].begin(),
                          latencies[c].end());
   }
-  result.latency = SummarizeLatencies(all_latencies);
+  result.latency = Summarize(std::move(all_latencies));
   result.ops_per_sec = static_cast<double>(result.latency.count) / elapsed;
   return result;
 }
@@ -318,8 +319,8 @@ void Run(const BenchArgs& args, const PipelineOptions& opt) {
          Fmt(result.ops_per_sec, 0),
          per_op_baseline > 0 ? Fmt(result.ops_per_sec / per_op_baseline, 2)
                              : "-",
-         Fmt(result.latency.p50_micros, 1), Fmt(result.latency.p95_micros, 1),
-         Fmt(result.latency.p99_micros, 1)});
+         Fmt(result.latency.median, 1), Fmt(result.latency.p95, 1),
+         Fmt(result.latency.p99, 1)});
     std::printf("# batch=%zu checksum=%llu\n", batch,
                 static_cast<unsigned long long>(result.checksum));
   }

@@ -28,9 +28,11 @@
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
 #include "bench_util/workload.h"
+#include "common/stats.h"
 #include "common/timer.h"
 #include "engine/database.h"
 #include "engine/plain_engine.h"
+#include "obs/metrics.h"
 #include "storage/catalog.h"
 
 namespace crackdb::bench {
@@ -48,6 +50,8 @@ struct ThroughputOptions {
   /// Range queries follow a shifting hotspot (DriftingHotspotGen) instead
   /// of uniform ranges — the adaptive-repartitioning stress shape.
   bool drift = false;
+  /// Dump the full Prometheus-style metrics text after the sweep.
+  bool metrics = false;
 };
 
 PartitionSpec MakeSpec(const ThroughputOptions& opt) {
@@ -244,21 +248,24 @@ void Run(const BenchArgs& args, const ThroughputOptions& opt) {
       latencies.insert(latencies.end(), r.latencies_micros.begin(),
                        r.latencies_micros.end());
     }
-    const LatencySummary lat = SummarizeLatencies(latencies);
+    const SeriesSummary lat = Summarize(std::move(latencies));
     const double qps = static_cast<double>(queries) / elapsed;
     if (qps_at_1 == 0) qps_at_1 = qps;
     Point(static_cast<double>(clients), qps);
     table.AddRow({std::to_string(clients), std::to_string(queries),
                   std::to_string(updates), Fmt(elapsed, 3), Fmt(qps, 0),
                   qps_at_1 > 0 ? Fmt(qps / qps_at_1, 2) : "-",
-                  Fmt(lat.p50_micros, 1), Fmt(lat.p95_micros, 1),
-                  Fmt(lat.p99_micros, 1)});
+                  Fmt(lat.median, 1), Fmt(lat.p95, 1), Fmt(lat.p99, 1)});
     const TableStats stats = db.Stats("R");
     std::printf("# clients=%zu checksum=%llu stats: rows=%zu live=%zu\n",
                 clients, static_cast<unsigned long long>(checksum),
                 stats.rows, stats.live_rows);
   }
   table.Print();
+  if (effective.metrics) {
+    std::printf("# metrics text exposition\n%s",
+                obs::RenderMetricsText().c_str());
+  }
 }
 
 }  // namespace
@@ -321,6 +328,12 @@ int main(int argc, char** argv) {
        [&opt](const char* a) {
          if (std::strcmp(a, "--drift") != 0) return false;
          opt.drift = true;
+         return true;
+       }},
+      {"--metrics", "dump Prometheus-style metrics text after the sweep",
+       [&opt](const char* a) {
+         if (std::strcmp(a, "--metrics") != 0) return false;
+         opt.metrics = true;
          return true;
        }},
   };

@@ -1,7 +1,8 @@
 #include "bench_util/report.h"
 
-#include <algorithm>
 #include <cstdio>
+
+#include "obs/metrics.h"
 
 namespace crackdb::bench {
 
@@ -52,28 +53,24 @@ std::string Fmt(double v, int precision) {
   return buf;
 }
 
-LatencySummary SummarizeLatencies(std::vector<double>& samples_micros) {
-  LatencySummary summary;
-  if (samples_micros.empty()) return summary;
-  std::sort(samples_micros.begin(), samples_micros.end());
-  const size_t n = samples_micros.size();
-  auto nearest_rank = [&](double pct) {
-    // Nearest-rank: the smallest sample with at least pct of the mass at
-    // or below it.
-    size_t rank = static_cast<size_t>(pct * static_cast<double>(n) + 0.5);
-    if (rank == 0) rank = 1;
-    if (rank > n) rank = n;
-    return samples_micros[rank - 1];
-  };
-  summary.count = n;
-  double sum = 0;
-  for (double v : samples_micros) sum += v;
-  summary.mean_micros = sum / static_cast<double>(n);
-  summary.p50_micros = nearest_rank(0.50);
-  summary.p95_micros = nearest_rank(0.95);
-  summary.p99_micros = nearest_rank(0.99);
-  summary.max_micros = samples_micros.back();
-  return summary;
+void PrintMetricsSnapshotLine() {
+  std::printf("# metrics");
+  for (const obs::MetricSample& s : obs::MetricsRegistry::Global().Snapshot()) {
+    switch (s.kind) {
+      case obs::MetricKind::kCounter:
+      case obs::MetricKind::kGauge:
+        if (s.value != 0.0) std::printf(" %s=%.6g", s.name.c_str(), s.value);
+        break;
+      case obs::MetricKind::kHistogram:
+        if (s.count != 0) {
+          std::printf(" %s_count=%llu %s_sum=%.6g", s.name.c_str(),
+                      static_cast<unsigned long long>(s.count),
+                      s.name.c_str(), s.value);
+        }
+        break;
+    }
+  }
+  std::printf("\n");
 }
 
 }  // namespace crackdb::bench

@@ -36,21 +36,14 @@ class TablePrinter {
 
 std::string Fmt(double v, int precision = 2);
 
-/// Percentile summary of per-op latency samples, for printing alongside
-/// aggregate throughput (bench_concurrent_throughput, bench_batch_
-/// pipeline). Percentiles are nearest-rank over the sorted samples.
-struct LatencySummary {
-  size_t count = 0;
-  double mean_micros = 0;
-  double p50_micros = 0;
-  double p95_micros = 0;
-  double p99_micros = 0;
-  double max_micros = 0;
-};
+// Latency percentile rows are printed from crackdb::Summarize
+// (common/stats.h) — the repo's one series summarizer.
 
-/// Sorts `samples_micros` in place and summarizes it. An empty sample set
-/// yields an all-zero summary.
-LatencySummary SummarizeLatencies(std::vector<double>& samples_micros);
+/// One-line snapshot of the process-wide metrics registry, emitted at the
+/// end of every bench run so an overnight log carries the counters next
+/// to the figures: `# metrics name=value ...` for every non-zero counter
+/// and gauge (histograms contribute `name_count`/`name_sum`).
+void PrintMetricsSnapshotLine();
 
 }  // namespace crackdb::bench
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "bench_util/report.h"
 #include "common/timer.h"
 #include "engine/operators.h"
 
@@ -120,6 +121,11 @@ BenchArgs BenchArgs::Parse(int argc, char** argv,
     if (args.queries == 0) args.queries = kSmokeQueries;
     if (args.scale_factor <= 0) args.scale_factor = kSmokeScaleFactor;
   }
+  // Every bench run ends with a one-line metrics-registry snapshot, so the
+  // BENCH_* JSON logs carry the engine-internal counters alongside the
+  // figures without per-binary wiring. (--help and bad-flag exits above
+  // return before this registration.)
+  std::atexit(PrintMetricsSnapshotLine);
   return args;
 }
 

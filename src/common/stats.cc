@@ -15,7 +15,17 @@ SeriesSummary Summarize(std::vector<double> values) {
   s.min = values.front();
   s.max = values.back();
   s.median = values[s.count / 2];
-  s.p95 = values[static_cast<size_t>(static_cast<double>(s.count - 1) * 0.95)];
+  // Nearest-rank percentiles: the smallest sample with at least pct of
+  // the mass at or below it.
+  const auto nearest_rank = [&values](double pct) {
+    size_t rank = static_cast<size_t>(
+        pct * static_cast<double>(values.size()) + 0.5);
+    if (rank == 0) rank = 1;
+    if (rank > values.size()) rank = values.size();
+    return values[rank - 1];
+  };
+  s.p95 = nearest_rank(0.95);
+  s.p99 = nearest_rank(0.99);
   return s;
 }
 

@@ -8,7 +8,9 @@
 namespace crackdb {
 
 /// Summary statistics over a series of measurements (per-query response
-/// times in the experiments).
+/// times in the experiments, per-op latency samples in the benches).
+/// Percentiles are nearest-rank over the sorted series: the smallest
+/// sample with at least that share of the mass at or below it.
 struct SeriesSummary {
   size_t count = 0;
   double total = 0;
@@ -17,10 +19,12 @@ struct SeriesSummary {
   double max = 0;
   double median = 0;
   double p95 = 0;
+  double p99 = 0;
 };
 
 /// Computes summary statistics; `values` is copied because percentile
-/// computation sorts.
+/// computation sorts. The one latency summarizer in the repo — the bench
+/// binaries print their percentile rows from this.
 SeriesSummary Summarize(std::vector<double> values);
 
 /// Formats a double with fixed precision; helper for the report tables.

@@ -13,11 +13,36 @@ namespace {
 /// workers of *other* pools, which are safe to block on).
 thread_local const ThreadPool* tls_worker_pool = nullptr;
 
+/// Registry handles resolved once per process (docs/OBSERVABILITY.md).
+struct PoolMetrics {
+  obs::Counter& tasks =
+      obs::MetricsRegistry::Global().GetCounter("pool_tasks_total");
+  obs::Counter& steals =
+      obs::MetricsRegistry::Global().GetCounter("pool_steals_total");
+  obs::Counter& inline_tasks =
+      obs::MetricsRegistry::Global().GetCounter("pool_inline_tasks_total");
+  obs::Gauge& queue_depth =
+      obs::MetricsRegistry::Global().GetGauge("pool_queue_depth");
+  obs::Histogram& task_wait =
+      obs::MetricsRegistry::Global().GetHistogram("pool_task_wait_micros");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads, bool affine)
     : affine_(affine), queues_(num_threads) {
   workers_.reserve(num_threads);
+  worker_tasks_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    worker_tasks_.push_back(&obs::MetricsRegistry::Global().GetCounter(
+        obs::WithLabel("pool_worker_tasks_total", "worker",
+                       static_cast<int64_t>(i))));
+  }
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
@@ -43,6 +68,7 @@ std::future<void> ThreadPool::Submit(size_t affinity,
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   if (workers_.empty()) {
+    Metrics().inline_tasks.Add();
     task();  // no workers: degrade to inline execution
     return future;
   }
@@ -53,8 +79,10 @@ std::future<void> ThreadPool::Submit(size_t affinity,
                 workers_.size();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queues_[home].push_back(std::move(task));
+    queues_[home].push_back(
+        QueuedTask{std::move(task), std::chrono::steady_clock::now()});
     ++pending_;
+    Metrics().queue_depth.Set(static_cast<double>(pending_));
   }
   // Any waiting worker may take it: the home worker FIFO, anyone else by
   // stealing — so one wakeup suffices for progress.
@@ -106,29 +134,43 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   const size_t n = queues_.size();
   for (;;) {
     std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+    bool stolen = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || pending_ > 0; });
       if (pending_ == 0) return;  // stopping_ and every queue drained
-      std::deque<std::packaged_task<void()>>& own = queues_[worker_index];
+      std::deque<QueuedTask>& own = queues_[worker_index];
       if (!own.empty()) {
         // Home queue drains FIFO: oldest affine task first.
-        task = std::move(own.front());
+        task = std::move(own.front().task);
+        enqueued = own.front().enqueued;
         own.pop_front();
       } else {
         // Steal the *newest* task from the first non-empty victim: the
         // victim keeps its oldest (likely already cache-resident) work.
         for (size_t k = 1; k < n; ++k) {
-          std::deque<std::packaged_task<void()>>& victim =
-              queues_[(worker_index + k) % n];
+          std::deque<QueuedTask>& victim = queues_[(worker_index + k) % n];
           if (!victim.empty()) {
-            task = std::move(victim.back());
+            task = std::move(victim.back().task);
+            enqueued = victim.back().enqueued;
             victim.pop_back();
+            stolen = true;
             break;
           }
         }
       }
       --pending_;
+      Metrics().queue_depth.Set(static_cast<double>(pending_));
+    }
+    if (obs::MetricsEnabled()) {
+      Metrics().tasks.Add();
+      if (stolen) Metrics().steals.Add();
+      worker_tasks_[worker_index]->Add();
+      Metrics().task_wait.Observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - enqueued)
+              .count());
     }
     task();
   }

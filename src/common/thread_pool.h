@@ -2,6 +2,7 @@
 #define CRACKDB_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -9,6 +10,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace crackdb {
 
@@ -69,6 +72,13 @@ class ThreadPool {
   bool InWorkerThread() const;
 
  private:
+  /// A queued task plus its enqueue timestamp, so the worker that runs it
+  /// can publish queue-wait time to the metrics registry.
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop(size_t worker_index);
 
   const bool affine_;
@@ -76,11 +86,14 @@ class ThreadPool {
   std::condition_variable cv_;
   /// queues_[i] is worker i's queue; all guarded by mu_. pending_ counts
   /// tasks across every queue so workers have one wait predicate.
-  std::vector<std::deque<std::packaged_task<void()>>> queues_;
+  std::vector<std::deque<QueuedTask>> queues_;
   size_t pending_ = 0;
   std::atomic<size_t> round_robin_{0};
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  /// Per-worker `pool_worker_tasks_total{worker="i"}` family, resolved
+  /// once at construction so the hot path is one relaxed add.
+  std::vector<obs::Counter*> worker_tasks_;
 };
 
 }  // namespace crackdb

@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -7,6 +9,9 @@
 #include <utility>
 
 #include "adaptive/repartitioner.h"
+#include "common/timer.h"
+#include "engine/plain_engine.h"
+#include "obs/metrics.h"
 
 namespace crackdb {
 
@@ -15,6 +20,85 @@ namespace {
 [[noreturn]] void Die(const char* what, const std::string& detail) {
   std::fprintf(stderr, "database: %s: %s\n", what, detail.c_str());
   std::abort();
+}
+
+/// Registry handles resolved once per process (docs/OBSERVABILITY.md).
+struct DbMetrics {
+  obs::Counter& queries =
+      obs::MetricsRegistry::Global().GetCounter("db_queries_total");
+  obs::Counter& query_errors =
+      obs::MetricsRegistry::Global().GetCounter("db_query_errors_total");
+  obs::Counter& system_queries =
+      obs::MetricsRegistry::Global().GetCounter("db_system_queries_total");
+  obs::Counter& writes =
+      obs::MetricsRegistry::Global().GetCounter("db_writes_total");
+  obs::Counter& write_decompress =
+      obs::MetricsRegistry::Global().GetCounter("db_write_decompress_total");
+  obs::Histogram& query_micros =
+      obs::MetricsRegistry::Global().GetHistogram("db_query_micros");
+  obs::Counter& ticks =
+      obs::MetricsRegistry::Global().GetCounter("adaptive_ticks_total");
+  obs::Counter& splits =
+      obs::MetricsRegistry::Global().GetCounter("adaptive_splits_total");
+  obs::Counter& merges =
+      obs::MetricsRegistry::Global().GetCounter("adaptive_merges_total");
+  obs::Counter& compressions =
+      obs::MetricsRegistry::Global().GetCounter("adaptive_compressions_total");
+  obs::Counter& decompressions = obs::MetricsRegistry::Global().GetCounter(
+      "adaptive_decompressions_total");
+  obs::Gauge& footprint_before = obs::MetricsRegistry::Global().GetGauge(
+      "adaptive_footprint_before_bytes");
+  obs::Gauge& footprint_after = obs::MetricsRegistry::Global().GetGauge(
+      "adaptive_footprint_after_bytes");
+};
+
+DbMetrics& Metrics() {
+  static DbMetrics* metrics = new DbMetrics();
+  return *metrics;
+}
+
+/// Query-log sampling window: 1 in this many untraced queries pays the
+/// full observability epilogue (histogram observe + ring append). Power
+/// of two; the first query of a Database always samples (phase 0).
+/// Traced and system.* queries always log, so the sparse sample only
+/// thins steady-state untraced traffic.
+constexpr uint64_t kQueryLogSampleEvery = 64;
+
+/// Column schemas of the system.* virtual tables. Registered as empty
+/// marker relations in the Catalog (schema discovery through the normal
+/// catalog surface) and materialized as transient per-query snapshots by
+/// ExecuteSystem. All cells are Values; string-ish columns (names, engine
+/// and codec kinds) hold system-name dictionary codes — see
+/// Database::SystemName.
+struct SystemSchema {
+  const char* name;
+  std::vector<std::string> columns;
+};
+
+const std::vector<SystemSchema>& SystemSchemas() {
+  static const std::vector<SystemSchema>* schemas =
+      new std::vector<SystemSchema>{
+          {"system.tables",
+           {"name", "partitions", "rows", "live_rows", "deleted", "queries",
+            "inserts", "deletes", "splits", "merges", "compressions",
+            "decompressions", "encoded_queries", "resident_bytes"}},
+          {"system.partitions",
+           {"table", "partition", "rows", "live_rows", "deleted", "cover_lo",
+            "cover_hi", "accesses", "engine", "codec", "resident_bytes"}},
+          {"system.metrics", {"name", "kind", "value", "count", "max"}},
+          {"system.query_log",
+           {"query_id", "table", "kind", "rows", "engine_micros",
+            "select_micros", "reconstruct_micros", "partitions_touched",
+            "partitions_pruned", "traced"}},
+      };
+  return *schemas;
+}
+
+const SystemSchema* FindSystemSchema(const std::string& name) {
+  for (const SystemSchema& schema : SystemSchemas()) {
+    if (name == schema.name) return &schema;
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -26,6 +110,13 @@ Database::Database(DatabaseOptions options) {
   }
   if (threads > 0) {
     pool_ = std::make_unique<ThreadPool>(threads, options.affine_scheduling);
+  }
+  // Register the system.* schemas as empty marker relations:
+  // catalog().relation("system.metrics").column_names() is the schema
+  // discovery surface; rows are materialized per query (ExecuteSystem).
+  for (const SystemSchema& schema : SystemSchemas()) {
+    Relation& marker = catalog_.CreateRelation(schema.name);
+    for (const std::string& column : schema.columns) marker.AddColumn(column);
   }
 }
 
@@ -162,8 +253,13 @@ std::string NormalizeTerminal(crackdb::Query& q) {
 }  // namespace
 
 std::string Database::ValidateQuery(const Table& t, const crackdb::Query& q) {
-  const auto known = [&t](const std::string& attr) {
-    for (const std::string& column : t.columns) {
+  return ValidateQueryColumns(t.columns, q);
+}
+
+std::string Database::ValidateQueryColumns(
+    std::span<const std::string> columns, const crackdb::Query& q) {
+  const auto known = [columns](const std::string& attr) {
+    for (const std::string& column : columns) {
       if (column == attr) return true;
     }
     return false;
@@ -191,15 +287,222 @@ std::string Database::ValidateQuery(const Table& t, const crackdb::Query& q) {
   return "";
 }
 
+bool Database::IsSystemTable(const std::string& table) {
+  return table.rfind("system.", 0) == 0;
+}
+
+Value Database::InternName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(system_names_mu_);
+  return system_names_.Encode(name);
+}
+
+std::string Database::SystemName(Value id) const {
+  std::lock_guard<std::mutex> lock(system_names_mu_);
+  if (id < 0 || static_cast<size_t>(id) >= system_names_.size()) {
+    Die("unknown system name id", std::to_string(id));
+  }
+  return system_names_.Decode(id);
+}
+
+void Database::LogQuery(const std::string& table, ConsumeKind kind,
+                        const ExecuteResult& result, bool always) {
+  if (!obs::MetricsEnabled()) return;
+  const uint64_t seq = log_seq_.fetch_add(1, std::memory_order_relaxed);
+  const bool sampled = (seq & (kQueryLogSampleEvery - 1)) == 0;
+  if (!sampled && !always && result.trace == nullptr) return;
+  // Fold the query-counter update into the sampled path too: report the
+  // delta of sequence numbers allocated since the last report, so
+  // db_queries_total stays *exact* at every sample point while the
+  // unsampled path pays nothing. The CAS-max keeps concurrent reporters
+  // from double-counting a window (each successful advance accounts
+  // exactly its own delta).
+  const uint64_t total = seq + 1;
+  uint64_t prev = queries_reported_.load(std::memory_order_relaxed);
+  while (total > prev && !queries_reported_.compare_exchange_weak(
+                             prev, total, std::memory_order_relaxed)) {
+  }
+  if (total > prev) {
+    Metrics().queries.Add(static_cast<double>(total - prev));
+  }
+  const double engine_micros = result.cost.select_micros +
+                               result.cost.reconstruct_micros +
+                               result.cost.prepare_micros;
+  Metrics().query_micros.Observe(engine_micros);
+  obs::QueryLogEntry entry;
+  entry.table = table;
+  entry.kind = static_cast<int32_t>(kind);
+  entry.rows = result.count;
+  entry.engine_micros = engine_micros;
+  entry.select_micros = result.cost.select_micros;
+  entry.reconstruct_micros = result.cost.reconstruct_micros;
+  entry.partitions_touched = static_cast<uint32_t>(result.partitions_touched);
+  entry.partitions_pruned = static_cast<uint32_t>(result.partitions_pruned);
+  entry.traced = result.trace != nullptr;
+  entry.trace = result.trace;
+  query_log_.Append(std::move(entry));
+}
+
+void Database::FillSystemTables(Relation& out) {
+  std::vector<std::string> names = table_names();
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const TableStats s = Stats(name);
+    const Value row[] = {InternName(name),
+                         static_cast<Value>(s.partitions),
+                         static_cast<Value>(s.rows),
+                         static_cast<Value>(s.live_rows),
+                         static_cast<Value>(s.deleted),
+                         static_cast<Value>(s.queries),
+                         static_cast<Value>(s.inserts),
+                         static_cast<Value>(s.deletes),
+                         static_cast<Value>(s.splits),
+                         static_cast<Value>(s.merges),
+                         static_cast<Value>(s.compressions),
+                         static_cast<Value>(s.decompressions),
+                         static_cast<Value>(s.encoded_queries),
+                         static_cast<Value>(s.resident_column_bytes)};
+    out.BulkLoadRow(row);
+  }
+}
+
+void Database::FillSystemPartitions(Relation& out) {
+  std::vector<std::string> names = table_names();
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const TableStats s = Stats(name);
+    const Value table_id = InternName(name);
+    for (size_t i = 0; i < s.per_partition.size(); ++i) {
+      const PartitionStats& ps = s.per_partition[i];
+      const Value row[] = {table_id,
+                           static_cast<Value>(i),
+                           static_cast<Value>(ps.rows),
+                           static_cast<Value>(ps.live_rows),
+                           static_cast<Value>(ps.deleted),
+                           ps.cover_lo,
+                           ps.cover_hi,
+                           static_cast<Value>(ps.accesses),
+                           InternName(ps.engine),
+                           InternName(ps.codec),
+                           static_cast<Value>(ps.resident_bytes)};
+      out.BulkLoadRow(row);
+    }
+  }
+}
+
+void Database::FillSystemMetrics(Relation& out) {
+  // Engines batch their registry increments under their cost mutex; drain
+  // them so the snapshot reflects all finished work (FlushMetrics is the
+  // documented sync point).
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    for (const auto& [name, t] : tables_) t->engine->FlushMetrics();
+  }
+  for (const obs::MetricSample& s : obs::MetricsRegistry::Global().Snapshot()) {
+    const Value row[] = {InternName(s.name),
+                         static_cast<Value>(static_cast<int>(s.kind)),
+                         static_cast<Value>(std::llround(s.value)),
+                         static_cast<Value>(s.count),
+                         static_cast<Value>(std::llround(s.max))};
+    out.BulkLoadRow(row);
+  }
+}
+
+void Database::FillSystemQueryLog(Relation& out) {
+  for (const obs::QueryLogEntry& e : query_log_.Snapshot()) {
+    const Value row[] = {static_cast<Value>(e.query_id),
+                         InternName(e.table),
+                         static_cast<Value>(e.kind),
+                         static_cast<Value>(e.rows),
+                         static_cast<Value>(std::llround(e.engine_micros)),
+                         static_cast<Value>(std::llround(e.select_micros)),
+                         static_cast<Value>(std::llround(e.reconstruct_micros)),
+                         static_cast<Value>(e.partitions_touched),
+                         static_cast<Value>(e.partitions_pruned),
+                         e.traced ? 1 : 0};
+    out.BulkLoadRow(row);
+  }
+}
+
+Expected<ExecuteResult> Database::ExecuteSystem(crackdb::Query query) {
+  const SystemSchema* schema = FindSystemSchema(query.table);
+  if (schema == nullptr) {
+    return QueryError{"unknown system table '" + query.table +
+                      "' (available: system.tables, system.partitions, "
+                      "system.metrics, system.query_log)"};
+  }
+  std::string invalid = NormalizeTerminal(query);
+  if (invalid.empty()) invalid = ValidateQueryColumns(schema->columns, query);
+  if (!invalid.empty()) {
+    Metrics().query_errors.Add();
+    return QueryError{std::move(invalid)};
+  }
+  // Materialize the snapshot, then answer from it through a PlainEngine —
+  // the snapshot is immutable and query-local, so no locking discipline
+  // applies past this point. The snapshot assembly (Stats calls, registry
+  // walk) happens before the trace epoch: it is view construction, not
+  // query execution.
+  Relation snapshot(query.table);
+  for (const std::string& column : schema->columns) {
+    snapshot.AddColumn(column);
+  }
+  if (query.table == "system.tables") {
+    FillSystemTables(snapshot);
+  } else if (query.table == "system.partitions") {
+    FillSystemPartitions(snapshot);
+  } else if (query.table == "system.metrics") {
+    FillSystemMetrics(snapshot);
+  } else {
+    FillSystemQueryLog(snapshot);
+  }
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (query.trace) trace = std::make_shared<obs::QueryTrace>();
+  PlainEngine plain(snapshot);
+  ExecuteResult result = plain.Execute(query.spec, query.consume);
+  if (trace != nullptr) {
+    trace->AddSpan(obs::QueryTrace::kRootSpan, -1, "select[plain]", 0.0,
+                   trace->NowMicros());
+    trace->SetDuration(obs::QueryTrace::kRootSpan, trace->NowMicros());
+    result.trace = std::move(trace);
+  }
+  Metrics().system_queries.Add();
+  // System queries are rare and are themselves the introspection surface,
+  // so they bypass the log sampling.
+  LogQuery(query.table, query.consume.kind, result, /*always=*/true);
+  return result;
+}
+
 Expected<ExecuteResult> Database::Execute(crackdb::Query query) {
-  if (!query.error.empty()) return QueryError{std::move(query.error)};
+  if (!query.error.empty()) {
+    Metrics().query_errors.Add();
+    return QueryError{std::move(query.error)};
+  }
+  if (IsSystemTable(query.table)) return ExecuteSystem(std::move(query));
   Table* t = FindTableOrNull(query.table);
-  if (t == nullptr) return QueryError{"unknown table '" + query.table + "'"};
+  if (t == nullptr) {
+    Metrics().query_errors.Add();
+    return QueryError{"unknown table '" + query.table + "'"};
+  }
   std::string invalid = NormalizeTerminal(query);
   if (invalid.empty()) invalid = ValidateQuery(*t, query);
-  if (!invalid.empty()) return QueryError{std::move(invalid)};
+  if (!invalid.empty()) {
+    Metrics().query_errors.Add();
+    return QueryError{std::move(invalid)};
+  }
   t->queries.fetch_add(1, std::memory_order_relaxed);
-  ExecuteResult result = t->engine->Execute(query.spec, query.consume);
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (query.trace) {
+    trace = std::make_shared<obs::QueryTrace>();
+    // Admission: everything between the trace epoch and engine entry.
+    trace->AddSpan(obs::QueryTrace::kRootSpan, -1, "admission", 0.0,
+                   trace->NowMicros());
+  }
+  ExecuteResult result =
+      t->engine->Execute(query.spec, query.consume, trace.get());
+  if (trace != nullptr) {
+    trace->SetDuration(obs::QueryTrace::kRootSpan, trace->NowMicros());
+    result.trace = std::move(trace);
+  }
+  LogQuery(query.table, query.consume.kind, result);
   NoteOps(*t, 1);
   return result;
 }
@@ -211,27 +514,45 @@ std::vector<Expected<ExecuteResult>> Database::ExecuteBatch(
   // partition is locked once per table batch). Results scatter back into
   // query order.
   std::vector<std::optional<QueryError>> errors(queries.size());
+  std::vector<std::optional<ExecuteResult>> executed(queries.size());
   struct TableBatch {
     Table* table;
+    std::string name;
     std::vector<size_t> indexes;
     std::vector<QuerySpec> specs;
     std::vector<ConsumeSpec> consumes;
+    std::vector<std::shared_ptr<obs::QueryTrace>> traces;
+    bool any_traced = false;
   };
   std::vector<TableBatch> batches;
   for (size_t i = 0; i < queries.size(); ++i) {
     crackdb::Query query = queries[i];
     if (!query.error.empty()) {
+      Metrics().query_errors.Add();
       errors[i] = QueryError{std::move(query.error)};
+      continue;
+    }
+    if (IsSystemTable(query.table)) {
+      // System tables answer from per-query snapshots; there is nothing
+      // to batch, so they run inline in batch order.
+      Expected<ExecuteResult> r = ExecuteSystem(std::move(query));
+      if (r.ok()) {
+        executed[i] = std::move(r.value());
+      } else {
+        errors[i] = QueryError{r.error()};
+      }
       continue;
     }
     Table* t = FindTableOrNull(query.table);
     if (t == nullptr) {
+      Metrics().query_errors.Add();
       errors[i] = QueryError{"unknown table '" + query.table + "'"};
       continue;
     }
     std::string invalid = NormalizeTerminal(query);
     if (invalid.empty()) invalid = ValidateQuery(*t, query);
     if (!invalid.empty()) {
+      Metrics().query_errors.Add();
       errors[i] = QueryError{std::move(invalid)};
       continue;
     }
@@ -243,21 +564,47 @@ std::vector<Expected<ExecuteResult>> Database::ExecuteBatch(
       }
     }
     if (batch == nullptr) {
-      batches.push_back({t, {}, {}, {}});
+      batches.push_back({t, query.table, {}, {}, {}, {}, false});
       batch = &batches.back();
     }
     batch->indexes.push_back(i);
     batch->specs.push_back(std::move(query.spec));
     batch->consumes.push_back(std::move(query.consume));
+    if (query.trace) {
+      batch->traces.push_back(std::make_shared<obs::QueryTrace>());
+      batch->any_traced = true;
+    } else {
+      batch->traces.push_back(nullptr);
+    }
   }
 
-  std::vector<std::optional<ExecuteResult>> executed(queries.size());
   for (TableBatch& batch : batches) {
     batch.table->queries.fetch_add(batch.specs.size(),
                                    std::memory_order_relaxed);
-    std::vector<ExecuteResult> results =
-        batch.table->engine->ExecuteMany(batch.specs, batch.consumes);
+    std::vector<obs::QueryTrace*> trace_ptrs;
+    if (batch.any_traced) {
+      trace_ptrs.reserve(batch.traces.size());
+      for (const std::shared_ptr<obs::QueryTrace>& tr : batch.traces) {
+        if (tr != nullptr) {
+          // Admission for a batched query: validation plus its wait for
+          // the batch to assemble and dispatch.
+          tr->AddSpan(obs::QueryTrace::kRootSpan, -1, "admission", 0.0,
+                      tr->NowMicros());
+        }
+        trace_ptrs.push_back(tr.get());
+      }
+    }
+    std::vector<ExecuteResult> results = batch.table->engine->ExecuteMany(
+        batch.specs, batch.consumes,
+        batch.any_traced ? std::span<obs::QueryTrace* const>(trace_ptrs)
+                         : std::span<obs::QueryTrace* const>{});
     for (size_t j = 0; j < batch.indexes.size(); ++j) {
+      if (batch.traces[j] != nullptr) {
+        batch.traces[j]->SetDuration(obs::QueryTrace::kRootSpan,
+                                     batch.traces[j]->NowMicros());
+        results[j].trace = batch.traces[j];
+      }
+      LogQuery(batch.name, batch.consumes[j].kind, results[j]);
       executed[batch.indexes[j]] = std::move(results[j]);
     }
     NoteOps(*batch.table, batch.specs.size());
@@ -363,6 +710,7 @@ void Database::ApplyViews(Table& t, std::span<const WriteView> ops,
         if (part.compressed()) {
           part.Decompress();
           t.decompressions.fetch_add(1, std::memory_order_relaxed);
+          Metrics().write_decompress.Add();
         }
       }
       if (op.kind == WriteOp::Kind::kInsert) {
@@ -375,6 +723,9 @@ void Database::ApplyViews(Table& t, std::span<const WriteView> ops,
     }
     if (inserts > 0) t.inserts.fetch_add(inserts, std::memory_order_relaxed);
     if (deletes > 0) t.deletes.fetch_add(deletes, std::memory_order_relaxed);
+    if (inserts + deletes > 0) {
+      Metrics().writes.Add(static_cast<double>(inserts + deletes));
+    }
   }
   // Outside every lock: a crossed trigger boundary may spawn a tick
   // thread, which re-enters the gate on its own.
@@ -449,11 +800,13 @@ void Database::NoteOps(Table& t, size_t n) {
 }
 
 bool Database::RunTick(Table& t) {
+  Metrics().ticks.Add();
   // Sensor -> decision inputs. Covers and row counts are read under the
   // gate (shared) + per-partition shared locks, like Stats; the histogram
   // snapshot tolerates concurrent recorders.
   WorkloadHistogram::Snapshot snap = t.histogram->Snap();
   std::vector<RepartitionPolicy::PartitionInput> inputs;
+  size_t before_bytes = 0;
   {
     RwGate::SharedGuard gate(t.relation.map_gate());
     const size_t n = t.relation.num_partitions();
@@ -461,6 +814,7 @@ bool Database::RunTick(Table& t) {
     for (size_t i = 0; i < n; ++i) {
       std::shared_lock<std::shared_mutex> lock(t.relation.partition_mutex(i));
       const Relation& part = t.relation.partition(i);
+      before_bytes += part.resident_column_bytes();
       inputs[i].live_rows = part.num_live_rows();
       inputs[i].cover_lo = t.relation.SliceCoverLo(i);
       inputs[i].cover_hi = t.relation.SliceCoverHi(i);
@@ -499,18 +853,35 @@ bool Database::RunTick(Table& t) {
   switch (decision.kind) {
     case RepartitionDecision::Kind::kSplit:
       t.splits.fetch_add(1, std::memory_order_relaxed);
+      Metrics().splits.Add();
       break;
     case RepartitionDecision::Kind::kMerge:
       t.merges.fetch_add(1, std::memory_order_relaxed);
+      Metrics().merges.Add();
       break;
     case RepartitionDecision::Kind::kCompress:
       t.compressions.fetch_add(1, std::memory_order_relaxed);
+      Metrics().compressions.Add();
       break;
     case RepartitionDecision::Kind::kDecompress:
       t.decompressions.fetch_add(1, std::memory_order_relaxed);
+      Metrics().decompressions.Add();
       break;
     case RepartitionDecision::Kind::kNone:
       break;
+  }
+  // Footprint around the executed action, read like Stats reads layouts
+  // (gate shared + per-partition shared locks). Gauges, not counters: the
+  // pair answers "what did the last layout action do to the table".
+  if (obs::MetricsEnabled()) {
+    size_t after_bytes = 0;
+    RwGate::SharedGuard gate(t.relation.map_gate());
+    for (size_t i = 0; i < t.relation.num_partitions(); ++i) {
+      std::shared_lock<std::shared_mutex> lock(t.relation.partition_mutex(i));
+      after_bytes += t.relation.partition(i).resident_column_bytes();
+    }
+    Metrics().footprint_before.Set(static_cast<double>(before_bytes));
+    Metrics().footprint_after.Set(static_cast<double>(after_bytes));
   }
   return true;
 }

@@ -21,7 +21,9 @@
 #include "engine/engine.h"
 #include "engine/query.h"
 #include "engine/sharded_engine.h"
+#include "obs/query_log.h"
 #include "storage/catalog.h"
+#include "storage/dictionary.h"
 #include "storage/partitioner.h"
 
 namespace crackdb {
@@ -296,6 +298,21 @@ class Database {
   Catalog& catalog() { return catalog_; }
   ThreadPool* pool() { return pool_.get(); }
 
+  /// True iff `table` names a built-in system.* virtual table
+  /// (system.tables, system.partitions, system.metrics, system.query_log).
+  /// Such queries are answered from a per-query snapshot (see
+  /// docs/OBSERVABILITY.md) through the normal fluent surface.
+  static bool IsSystemTable(const std::string& table);
+
+  /// The ring of recently finished fluent-path queries; also queryable as
+  /// the system.query_log virtual table.
+  const obs::QueryLog& query_log() const { return query_log_; }
+
+  /// Decodes a name id from a system.* snapshot (table, metric, engine,
+  /// and codec names are dictionary codes there, since system tables carry
+  /// only Value cells) back to its string. Dies on ids never issued.
+  std::string SystemName(Value id) const;
+
  private:
   struct Table {
     explicit Table(PartitionedRelation r) : relation(std::move(r)) {}
@@ -370,7 +387,49 @@ class Database {
   /// are as safe as Build() output) before this name check.
   static std::string ValidateQuery(const Table& t, const crackdb::Query& q);
 
+  /// The schema-agnostic core of ValidateQuery: checks every referenced
+  /// attribute against an explicit column list (regular tables pass the
+  /// registration snapshot, system.* tables their fixed schemas).
+  static std::string ValidateQueryColumns(std::span<const std::string> columns,
+                                          const crackdb::Query& q);
+
+  /// Serves a query on a system.* virtual table: materializes a transient
+  /// Relation snapshot of the requested view and answers it through a
+  /// PlainEngine, so predicates, projections, every terminal, and the
+  /// Expected validation errors behave exactly as on a regular table.
+  Expected<ExecuteResult> ExecuteSystem(crackdb::Query query);
+
+  /// Snapshot builders for the system.* views; `out` is an empty relation
+  /// carrying the view's schema.
+  void FillSystemTables(Relation& out);
+  void FillSystemPartitions(Relation& out);
+  void FillSystemMetrics(Relation& out);
+  void FillSystemQueryLog(Relation& out);
+
+  /// Encodes a string into the system-name dictionary (thread-safe); the
+  /// inverse of SystemName.
+  Value InternName(const std::string& name);
+
+  /// Per-query observability epilogue: bumps the registry's query
+  /// counter/latency histogram and appends to the query-log ring. The
+  /// unsampled path is one relaxed increment; the heavy work (histogram,
+  /// ring append) runs for every traced query, every `always` caller
+  /// (system.* queries), and a 1-in-64 sample of the untraced rest.
+  /// Micros are engine-attributed (the result's CostBreakdown), so the
+  /// epilogue is clock-free. No-op when metrics are disabled
+  /// (obs::SetMetricsEnabled(false)).
+  void LogQuery(const std::string& table, ConsumeKind kind,
+                const ExecuteResult& result, bool always = false);
+
   Catalog catalog_;
+  obs::QueryLog query_log_;
+  /// Queries that passed through LogQuery; doubles as the sampling phase.
+  std::atomic<uint64_t> log_seq_{0};
+  /// High-water mark of log_seq_ already folded into db_queries_total.
+  std::atomic<uint64_t> queries_reported_{0};
+  /// Codes for every string surfaced through a system.* snapshot.
+  mutable std::mutex system_names_mu_;
+  Dictionary system_names_;
   std::unique_ptr<ThreadPool> pool_;
   mutable std::shared_mutex tables_mu_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;

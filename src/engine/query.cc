@@ -13,6 +13,13 @@ namespace crackdb {
   std::abort();
 }
 
+std::string ExecuteResult::Explain() const {
+  if (trace == nullptr) {
+    return "(not traced; build the query with .Trace() to record spans)\n";
+  }
+  return trace->Format();
+}
+
 void QueryBuilder::Fail(std::string message) {
   if (q_.error.empty()) q_.error = std::move(message);
 }

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "common/types.h"
 #include "engine/engine.h"
 #include "kernels/kernels.h"
+#include "obs/trace.h"
 
 namespace crackdb {
 
@@ -227,6 +229,18 @@ struct ExecuteResult {
   /// This query's own cost delta. Count/Aggregate/GroupBy queries report
   /// reconstruct_micros == 0: they never reconstruct a tuple.
   CostBreakdown cost;
+  /// Partition fan-out under the sharded layer: how many partitions the
+  /// query actually ran on, and how many the organizing-attribute pruning
+  /// ruled out. Both 0 for unsharded engines.
+  size_t partitions_touched = 0;
+  size_t partitions_pruned = 0;
+  /// The span timeline, present iff the query was built with Trace().
+  /// Shared so the query-log ring can retain it after the result dies.
+  std::shared_ptr<const obs::QueryTrace> trace;
+
+  /// The rendered span tree (obs::QueryTrace::Format), or a hint to call
+  /// Trace() when the query was not traced.
+  std::string Explain() const;
 };
 
 /// Error half of the Expected<> surface: one human-readable message.
@@ -284,6 +298,8 @@ struct Query {
   QuerySpec spec;
   ConsumeSpec consume;
   std::string error;
+  /// Record a span timeline for this query (QueryBuilder::Trace()).
+  bool trace = false;
 };
 
 /// Fluent builder over QuerySpec + ConsumeSpec:
@@ -381,6 +397,15 @@ class QueryBuilder {
   }
   QueryBuilder& Materialize() {
     q_.consume = ConsumeSpec::Materialize();
+    return *this;
+  }
+
+  /// Opts this query into span recording: the result (and the query-log
+  /// entry) carries a QueryTrace whose tree Explain() renders. Orthogonal
+  /// to the terminal; costs a handful of mutexed span appends per
+  /// partition touched, nothing per row.
+  QueryBuilder& Trace() {
+    q_.trace = true;
     return *this;
   }
 

@@ -19,6 +19,55 @@ namespace {
   std::abort();
 }
 
+/// Registry handles resolved once per process. The micros totals mirror
+/// the per-query CostBreakdown attribution exactly (the concurrency storm
+/// test checks registry deltas against summed per-query costs), so
+/// whatever lands in a result's cost also lands here — including the
+/// grouped merge (select-side) and the materialize/visit merges
+/// (reconstruct-side). Hot-path updates are *batched*: they accumulate as
+/// plain fields (PendingMetrics) under cost_mu_, which the batch epilogue
+/// takes anyway, and drain every kMetricsFlushBatches batches (or at any
+/// CostSnapshot/FlushMetrics sync point) — the per-batch hot-path price
+/// of the whole engine family is a handful of non-atomic adds under an
+/// already-held lock. docs/OBSERVABILITY.md has the inventory.
+struct EngineMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& batches = reg.GetCounter("engine_batches_total");
+  obs::Counter& subqueries = reg.GetCounter("engine_subqueries_total");
+  obs::Counter& groups = reg.GetCounter("engine_partition_groups_total");
+  obs::Counter& pruned = reg.GetCounter("engine_partitions_pruned_total");
+  obs::Counter& lock_wait =
+      reg.GetCounter("engine_lock_wait_micros_total");
+  obs::Counter& select_micros =
+      reg.GetCounter("engine_select_micros_total");
+  obs::Counter& reconstruct_micros =
+      reg.GetCounter("engine_reconstruct_micros_total");
+  obs::Counter& prepare_micros =
+      reg.GetCounter("engine_prepare_micros_total");
+  obs::Counter& merge_micros = reg.GetCounter("engine_merge_micros_total");
+  obs::Counter& encoded = reg.GetCounter("engine_encoded_subqueries_total");
+  obs::Counter& decompress =
+      reg.GetCounter("engine_crack_decompress_total");
+  obs::Histogram& group_micros = reg.GetHistogram("engine_group_micros");
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics* metrics = new EngineMetrics();
+  return *metrics;
+}
+
+/// Pending registry increments drain every this-many batches. Large
+/// enough that the drain's atomic adds amortize to noise, small enough
+/// that `system.metrics` under steady traffic lags by well under a
+/// second.
+constexpr uint64_t kMetricsFlushBatches = 64;
+
+/// Sampling mask for the group-latency histogram: the groups of one
+/// batch in 64 pay the clock read and the histogram update. The
+/// distribution shape and mean survive uniform sampling; the exact
+/// population count lives in engine_partition_groups_total.
+constexpr uint64_t kGroupSampleMask = 63;
+
 /// Merged result handle: per-shard materialized projection columns plus
 /// prefix sums for ordinal addressing. Owns every value it hands out, so
 /// it outlives the partition locks (which ExecuteShards released before
@@ -230,6 +279,50 @@ ShardedEngine::ShardedEngine(const PartitionedRelation& relation,
       Die("factory returned null", relation.name());
     }
   }
+  RefreshPartitionCounters();
+}
+
+ShardedEngine::~ShardedEngine() { FlushMetrics(); }
+
+void ShardedEngine::FlushMetrics() const {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  FlushMetricsLocked();
+}
+
+void ShardedEngine::FlushMetricsLocked() const {
+  if (!pending_.dirty) return;
+  // AddAlways: these increments were gathered while metrics were enabled;
+  // a toggle since then must not drop them.
+  EngineMetrics& m = Metrics();
+  m.batches.AddAlways(static_cast<double>(pending_.batches));
+  m.subqueries.AddAlways(static_cast<double>(pending_.subqueries));
+  m.groups.AddAlways(static_cast<double>(pending_.groups));
+  m.pruned.AddAlways(static_cast<double>(pending_.pruned));
+  m.select_micros.AddAlways(pending_.select_micros);
+  m.reconstruct_micros.AddAlways(pending_.reconstruct_micros);
+  m.prepare_micros.AddAlways(pending_.prepare_micros);
+  m.merge_micros.AddAlways(pending_.merge_micros);
+  for (size_t p = 0;
+       p < pending_.per_partition.size() && p < partition_counters_.size();
+       ++p) {
+    if (pending_.per_partition[p] > 0) {
+      partition_counters_[p]->AddAlways(
+          static_cast<double>(pending_.per_partition[p]));
+    }
+  }
+  pending_ = PendingMetrics{};
+}
+
+void ShardedEngine::RefreshPartitionCounters() {
+  partition_counters_.clear();
+  partition_counters_.reserve(engines_.size());
+  const std::string family =
+      obs::WithLabel("engine_partition_subqueries_total", "table",
+                     relation_->name());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    partition_counters_.push_back(&obs::MetricsRegistry::Global().GetCounter(
+        obs::WithLabel(family, "partition", static_cast<int64_t>(i))));
+  }
 }
 
 std::string ShardedEngine::name() const {
@@ -292,6 +385,9 @@ void ShardedEngine::SpliceEngines(size_t first, size_t removed,
   if (removed == 0 || first + removed > engines_.size() || added.empty()) {
     Die("engine splice out of bounds", relation_->name());
   }
+  // Partition indexes are about to shift: drain the per-partition pending
+  // tallies against the *old* keying before the counter family is rebuilt.
+  FlushMetrics();
   const auto begin = static_cast<std::ptrdiff_t>(first);
   const auto end = static_cast<std::ptrdiff_t>(first + removed);
   // The replaced engines are destroyed here: the caller holds the map gate
@@ -300,6 +396,9 @@ void ShardedEngine::SpliceEngines(size_t first, size_t removed,
   engines_.insert(engines_.begin() + begin,
                   std::make_move_iterator(added.begin()),
                   std::make_move_iterator(added.end()));
+  // Partition indexes shifted: re-key the per-partition counter family.
+  // Safe here — the exclusively-held map gate excludes every run_group.
+  RefreshPartitionCounters();
 }
 
 void ShardedEngine::ResetPartitionEngine(size_t p) {
@@ -314,9 +413,9 @@ void ShardedEngine::ResetPartitionEngine(size_t p) {
   if (engines_[p] == nullptr) Die("factory returned null", relation_->name());
 }
 
-std::vector<std::vector<ShardedEngine::ShardResult>>
-ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
-                            std::span<const ConsumeSpec> consumes) {
+ShardedEngine::BatchOutput ShardedEngine::ExecuteBatch(
+    std::span<const QuerySpec> specs, std::span<const ConsumeSpec> consumes,
+    std::span<obs::QueryTrace* const> traces) {
   // The partition map is stable for the whole batch: shared hold of the
   // gate spans grouping, fan-out, and the cost roll-up. Pool workers
   // (async queries' own tasks) enter urgently so they can never deadlock
@@ -332,9 +431,11 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
   };
   std::vector<std::vector<ShardResult>> results(specs.size());
   std::vector<std::vector<SubQuery>> groups(engines_.size());
+  size_t total_subqueries = 0;
   for (size_t s = 0; s < specs.size(); ++s) {
     const std::vector<size_t> targets = TargetPartitions(specs[s]);
     results[s].resize(targets.size());
+    total_subqueries += targets.size();
     for (size_t t = 0; t < targets.size(); ++t) {
       groups[targets[t]].push_back({s, t});
     }
@@ -344,39 +445,110 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
   for (size_t p = 0; p < groups.size(); ++p) {
     if (!groups[p].empty()) active.push_back(p);
   }
+  // Group-latency sampling is decided once per batch (one relaxed
+  // increment), not per group: 1 in 64 batches observes all of its
+  // groups into engine_group_micros.
+  const bool sample_groups =
+      obs::MetricsEnabled() &&
+      (group_seq_.fetch_add(1, std::memory_order_relaxed) &
+       kGroupSampleMask) == 0;
+
+  // Fan-out timestamps for traced specs: each partition task's queue_wait
+  // span starts here (for inline execution the wait is ~0 by design).
+  auto trace_for = [&traces](size_t s) -> obs::QueryTrace* {
+    return traces.empty() ? nullptr : traces[s];
+  };
+  std::vector<double> dispatched(traces.empty() ? 0 : specs.size(), 0.0);
+  for (size_t s = 0; s < dispatched.size(); ++s) {
+    if (obs::QueryTrace* tr = trace_for(s)) dispatched[s] = tr->NowMicros();
+  }
 
   auto run_group = [&](size_t a) {
     const size_t p = active[a];
     Timer group_timer;
+    // Open one partition span per traced spec in this group before the
+    // lock: it parents the queue_wait / lock_wait / kernel child spans
+    // and is closed (duration re-stamped) when the group finishes.
+    struct SubTrace {
+      obs::QueryTrace* trace = nullptr;
+      uint32_t span = 0;
+      double span_start = 0.0;  // fan-out time: the span covers the wait
+      double task_start = 0.0;  // when the affine task actually began
+    };
+    std::vector<SubTrace> sub_traces;
+    if (!traces.empty()) {
+      sub_traces.resize(groups[p].size());
+      for (size_t i = 0; i < groups[p].size(); ++i) {
+        obs::QueryTrace* tr = trace_for(groups[p][i].spec_index);
+        if (tr == nullptr) continue;
+        const double now = tr->NowMicros();
+        // The partition span opens at fan-out, not at task start, so the
+        // queue_wait child nests strictly inside it — span trees keep the
+        // parent-covers-children invariant tests lean on.
+        const double dispatch = dispatched[groups[p][i].spec_index];
+        const uint32_t span =
+            tr->AddSpan(obs::QueryTrace::kRootSpan, static_cast<int32_t>(p),
+                        "partition", dispatch, 0.0);
+        tr->AddSpan(span, static_cast<int32_t>(p), "queue_wait", dispatch,
+                    now - dispatch);
+        sub_traces[i] = SubTrace{tr, span, dispatch, now};
+      }
+    }
     // One exclusive acquisition serves the whole group: the sub-queries
     // crack the partition's auxiliary structures back to back (batch
     // order, so state evolution matches the one-by-one loop), and every
     // declared projection is materialized — or, for scalar consumption,
     // folded into a partial — before the lock is released.
-    std::unique_lock<std::shared_mutex> lock(relation_->partition_mutex(p));
+    // Uncontended acquisitions (the overwhelming case) pay zero clock
+    // reads: only an actual wait is timed and charged.
+    std::unique_lock<std::shared_mutex> lock(relation_->partition_mutex(p),
+                                             std::try_to_lock);
+    double lock_elapsed = 0.0;
+    if (!lock.owns_lock()) {
+      Timer lock_timer;
+      lock.lock();
+      lock_elapsed = lock_timer.ElapsedMicros();
+      if (obs::MetricsEnabled()) Metrics().lock_wait.Add(lock_elapsed);
+    }
+    for (const SubTrace& st : sub_traces) {
+      if (st.trace != nullptr) {
+        st.trace->AddSpan(st.span, static_cast<int32_t>(p), "lock_wait",
+                          st.task_start, lock_elapsed);
+      }
+    }
     // The engine reference is resolved under the lock: the compression
     // layer stamps fresh partition engines (ResetPartitionEngine) under
     // this same lock held exclusively.
     Engine& child = *engines_[p];
     const Relation& part = relation_->partition(p);
-    for (const SubQuery& sub : groups[p]) {
+    for (size_t i = 0; i < groups[p].size(); ++i) {
+      const SubQuery& sub = groups[p][i];
       const QuerySpec& spec = specs[sub.spec_index];
       const ConsumeSpec* consume =
           consumes.empty() ? nullptr : &consumes[sub.spec_index];
       const ConsumeKind kind =
           consume == nullptr ? ConsumeKind::kMaterialize : consume->kind;
       ShardResult& shard = results[sub.spec_index][sub.slot];
+      obs::QueryTrace* tr =
+          sub_traces.empty() ? nullptr : sub_traces[i].trace;
+      const uint32_t part_span = tr == nullptr ? 0 : sub_traces[i].span;
 
       if (part.compressed()) {
         if (EncodedServable(part, spec, consume)) {
           // Scalar sub-query over a compressed partition: answer it in
           // the encoded domain. No decompression, and no cracked
           // structure is built or advanced — cold partitions stay cold.
+          const double t0 = tr == nullptr ? 0.0 : tr->NowMicros();
           Timer encoded_timer;
           ServeEncoded(part, spec, *consume, &shard.num_rows,
                        &shard.aggregate, &shard.aggregate_valid);
           shard.cost.select_micros = encoded_timer.ElapsedMicros();
           encoded_queries_.fetch_add(1, std::memory_order_relaxed);
+          Metrics().encoded.Add();
+          if (tr != nullptr) {
+            tr->AddSpan(part_span, static_cast<int32_t>(p), "encoded_fold",
+                        t0, shard.cost.select_micros);
+          }
           continue;
         }
         // Crack-on-touch: the first sub-query the encoded domain cannot
@@ -384,14 +556,29 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
         // proceeds through its engine as usual. The engine stayed valid
         // across the compressed phase — it was stamped fresh at compress
         // time and no write has landed since (writes decompress first).
+        const double t0 = tr == nullptr ? 0.0 : tr->NowMicros();
+        Timer decompress_timer;
         part.Decompress();
         crack_decompressions_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().decompress.Add();
+        if (tr != nullptr) {
+          tr->AddSpan(part_span, static_cast<int32_t>(p), "decompress", t0,
+                      decompress_timer.ElapsedMicros());
+        }
       }
 
       const CostBreakdown before = child.cost();
+      const double select_t0 = tr == nullptr ? 0.0 : tr->NowMicros();
       Timer select_timer;
       std::unique_ptr<SelectionHandle> handle = child.Select(spec);
       const double select_elapsed = select_timer.ElapsedMicros();
+      if (tr != nullptr) {
+        // "select[<engine>]": the cracking/scan kernel time, named by the
+        // per-partition engine (table entry) that served it.
+        tr->AddSpan(part_span, static_cast<int32_t>(p),
+                    "select[" + child.name() + "]", select_t0,
+                    select_elapsed);
+      }
 
       // Charge the child's own attribution where it keeps one (prepare);
       // select/reconstruct use our wall timers so engines whose Select
@@ -413,6 +600,7 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
           // merge will combine scalars (kAggregate) or partial hash
           // tables (kGroupBy). Either fold is selection-side work
           // (reconstruct stays 0 — no tuple reaches the caller).
+          const double t0 = tr == nullptr ? 0.0 : tr->NowMicros();
           Timer fold_timer;
           ConsumeOutcome out =
               handle->Consume(consumes[sub.spec_index], spec.projections);
@@ -420,7 +608,12 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
           shard.aggregate = out.aggregate;
           shard.aggregate_valid = out.aggregate_valid;
           shard.groups = std::move(out.groups);
-          shard.cost.select_micros += fold_timer.ElapsedMicros();
+          const double fold_elapsed = fold_timer.ElapsedMicros();
+          shard.cost.select_micros += fold_elapsed;
+          if (tr != nullptr) {
+            tr->AddSpan(part_span, static_cast<int32_t>(p), "fold", t0,
+                        fold_elapsed);
+          }
           break;
         }
         case ConsumeKind::kMaterialize:
@@ -428,6 +621,7 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
           // Both materialize per partition inside the lock (the sharded
           // lifetime contract); they differ at merge time — ForEach
           // visits the per-partition columns instead of concatenating.
+          const double t0 = tr == nullptr ? 0.0 : tr->NowMicros();
           Timer fetch_timer;
           shard.columns.reserve(spec.projections.size());
           for (const std::string& attr : spec.projections) {
@@ -435,6 +629,10 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
           }
           shard.num_rows = handle->NumRows();
           shard.cost.reconstruct_micros = fetch_timer.ElapsedMicros();
+          if (tr != nullptr) {
+            tr->AddSpan(part_span, static_cast<int32_t>(p), "fetch", t0,
+                        shard.cost.reconstruct_micros);
+          }
           break;
         }
       }
@@ -444,9 +642,22 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
     // shared by our caller), and the hot partition's critical section is
     // exactly what this subsystem exists to shorten.
     lock.unlock();
+    for (const SubTrace& st : sub_traces) {
+      if (st.trace != nullptr) {
+        st.trace->SetDuration(st.span,
+                              st.trace->NowMicros() - st.span_start);
+      }
+    }
+    // One shared clock read serves both consumers of the group latency —
+    // the sampled registry histogram and the adaptive sensor.
+    if (sample_groups || histogram_ != nullptr) {
+      const double group_elapsed = group_timer.ElapsedMicros();
+      if (sample_groups) Metrics().group_micros.Observe(group_elapsed);
+      if (histogram_ != nullptr) {
+        histogram_->RecordAccess(p, groups[p].size(), group_elapsed);
+      }
+    }
     if (histogram_ != nullptr) {
-      histogram_->RecordAccess(p, groups[p].size(),
-                               group_timer.ElapsedMicros());
       const std::string& organizing = relation_->spec().column;
       for (const SubQuery& sub : groups[p]) {
         for (const QuerySpec::Selection& sel :
@@ -516,13 +727,30 @@ ShardedEngine::ExecuteBatch(std::span<const QuerySpec> specs,
     cost_.select_micros += sum.select_micros;
     cost_.reconstruct_micros += sum.reconstruct_micros;
     cost_.prepare_micros += sum.prepare_micros;
+    if (obs::MetricsEnabled()) {
+      // Registry increments piggyback on this (already-held) lock as
+      // plain adds; FlushMetricsLocked drains them in bulk.
+      pending_.dirty = true;
+      pending_.batches += 1;
+      pending_.subqueries += total_subqueries;
+      pending_.groups += active.size();
+      pending_.pruned += specs.size() * engines_.size() - total_subqueries;
+      pending_.select_micros += sum.select_micros;
+      pending_.reconstruct_micros += sum.reconstruct_micros;
+      pending_.prepare_micros += sum.prepare_micros;
+      if (pending_.per_partition.size() != engines_.size()) {
+        pending_.per_partition.assign(engines_.size(), 0);
+      }
+      for (size_t p : active) pending_.per_partition[p] += groups[p].size();
+      if (pending_.batches >= kMetricsFlushBatches) FlushMetricsLocked();
+    }
   }
-  return results;
+  return BatchOutput{std::move(results), engines_.size()};
 }
 
 std::vector<ShardedEngine::ShardResult> ShardedEngine::ExecuteShards(
     const QuerySpec& spec) {
-  return std::move(ExecuteBatch({&spec, 1}, {}).front());
+  return std::move(ExecuteBatch({&spec, 1}, {}).results.front());
 }
 
 std::unique_ptr<SelectionHandle> ShardedEngine::Select(const QuerySpec& spec) {
@@ -566,9 +794,15 @@ QueryResult ShardedEngine::MergeShards(const QuerySpec& spec,
 
 ExecuteResult ShardedEngine::MergeExecute(const QuerySpec& spec,
                                           const ConsumeSpec& consume,
-                                          std::vector<ShardResult> shards) {
+                                          std::vector<ShardResult> shards,
+                                          obs::QueryTrace* trace,
+                                          size_t num_partitions) {
+  const double merge_t0 = trace == nullptr ? 0.0 : trace->NowMicros();
   ExecuteResult result;
   result.kind = consume.kind;
+  result.partitions_touched = shards.size();
+  result.partitions_pruned =
+      num_partitions >= shards.size() ? num_partitions - shards.size() : 0;
   for (const ShardResult& shard : shards) {
     result.cost.select_micros += shard.cost.select_micros;
     result.cost.reconstruct_micros += shard.cost.reconstruct_micros;
@@ -607,6 +841,13 @@ ExecuteResult ShardedEngine::MergeExecute(const QuerySpec& spec,
       {
         std::lock_guard<std::mutex> lock(cost_mu_);
         cost_.select_micros += merge_elapsed;
+        if (obs::MetricsEnabled()) {
+          // The grouped merge is select-side work in the cost model; keep
+          // the registry's select total aligned with per-query costs.
+          pending_.dirty = true;
+          pending_.select_micros += merge_elapsed;
+          pending_.merge_micros += merge_elapsed;
+        }
       }
       break;
     }
@@ -630,6 +871,11 @@ ExecuteResult ShardedEngine::MergeExecute(const QuerySpec& spec,
       {
         std::lock_guard<std::mutex> lock(cost_mu_);
         cost_.reconstruct_micros += visit_elapsed;
+        if (obs::MetricsEnabled()) {
+          pending_.dirty = true;
+          pending_.reconstruct_micros += visit_elapsed;
+          pending_.merge_micros += visit_elapsed;
+        }
       }
       break;
     }
@@ -637,29 +883,54 @@ ExecuteResult ShardedEngine::MergeExecute(const QuerySpec& spec,
       Timer merge_timer;
       result.rows = MergeShards(spec, std::move(shards));  // charges cost_
       result.count = result.rows.num_rows;
-      result.cost.reconstruct_micros += merge_timer.ElapsedMicros();
+      const double merge_elapsed = merge_timer.ElapsedMicros();
+      result.cost.reconstruct_micros += merge_elapsed;
+      if (obs::MetricsEnabled()) {
+        std::lock_guard<std::mutex> lock(cost_mu_);
+        pending_.dirty = true;
+        pending_.reconstruct_micros += merge_elapsed;
+        pending_.merge_micros += merge_elapsed;
+      }
       break;
     }
+  }
+  if (trace != nullptr) {
+    trace->AddSpan(obs::QueryTrace::kRootSpan, /*partition=*/-1, "merge",
+                   merge_t0, trace->NowMicros() - merge_t0);
   }
   return result;
 }
 
 ExecuteResult ShardedEngine::Execute(const QuerySpec& spec,
                                      const ConsumeSpec& consume) {
-  std::vector<ExecuteResult> results = ExecuteMany({&spec, 1}, {&consume, 1});
+  return Execute(spec, consume, nullptr);
+}
+
+ExecuteResult ShardedEngine::Execute(const QuerySpec& spec,
+                                     const ConsumeSpec& consume,
+                                     obs::QueryTrace* trace) {
+  obs::QueryTrace* const traces[1] = {trace};
+  std::vector<ExecuteResult> results =
+      ExecuteMany({&spec, 1}, {&consume, 1},
+                  trace == nullptr ? std::span<obs::QueryTrace* const>{}
+                                   : std::span<obs::QueryTrace* const>(
+                                         traces, 1));
   return std::move(results.front());
 }
 
 std::vector<ExecuteResult> ShardedEngine::ExecuteMany(
-    std::span<const QuerySpec> specs, std::span<const ConsumeSpec> consumes) {
-  std::vector<std::vector<ShardResult>> shards = ExecuteBatch(specs, consumes);
+    std::span<const QuerySpec> specs, std::span<const ConsumeSpec> consumes,
+    std::span<obs::QueryTrace* const> traces) {
+  BatchOutput batch = ExecuteBatch(specs, consumes, traces);
   static const ConsumeSpec kMaterializeAll = ConsumeSpec::Materialize();
   std::vector<ExecuteResult> results;
   results.reserve(specs.size());
   for (size_t s = 0; s < specs.size(); ++s) {
     const ConsumeSpec& consume =
         consumes.empty() ? kMaterializeAll : consumes[s];
-    results.push_back(MergeExecute(specs[s], consume, std::move(shards[s])));
+    results.push_back(MergeExecute(
+        specs[s], consume, std::move(batch.results[s]),
+        traces.empty() ? nullptr : traces[s], batch.num_partitions));
   }
   return results;
 }
@@ -681,6 +952,7 @@ std::vector<QueryResult> ShardedEngine::RunBatch(
 
 CostBreakdown ShardedEngine::CostSnapshot() const {
   std::lock_guard<std::mutex> lock(cost_mu_);
+  FlushMetricsLocked();
   return cost_;
 }
 

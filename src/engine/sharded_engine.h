@@ -14,6 +14,8 @@
 #include "engine/engine.h"
 #include "engine/engine_factory.h"
 #include "engine/query.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/partitioner.h"
 
 namespace crackdb {
@@ -67,6 +69,9 @@ class ShardedEngine : public Engine {
   ShardedEngine(const PartitionedRelation& relation, EngineFactory factory,
                 ThreadPool* pool = nullptr);
 
+  /// Drains any pending (batched) registry increments — see FlushMetrics.
+  ~ShardedEngine() override;
+
   std::string name() const override;
 
   std::unique_ptr<SelectionHandle> Select(const QuerySpec& spec) override;
@@ -85,11 +90,22 @@ class ShardedEngine : public Engine {
   ExecuteResult Execute(const QuerySpec& spec,
                         const ConsumeSpec& consume) override;
 
+  /// Traced variant: when `trace` is non-null the batch pipeline records
+  /// a span per phase into it — per-partition affine task (queue wait,
+  /// lock wait, kernel time) plus the shard merge — all parented on the
+  /// trace's root span. Also stamps partitions_touched/pruned on the
+  /// result. Null behaves exactly like the untraced overload.
+  ExecuteResult Execute(const QuerySpec& spec, const ConsumeSpec& consume,
+                        obs::QueryTrace* trace);
+
   /// Batch variant of Execute: one scheduled batch (one lock acquisition
   /// per target partition), one tagged result per spec. `consumes` is
-  /// parallel to `specs`; empty means materialize everything.
+  /// parallel to `specs`; empty means materialize everything. `traces`
+  /// is parallel to `specs` when non-empty (null entries = untraced).
   std::vector<ExecuteResult> ExecuteMany(std::span<const QuerySpec> specs,
-                                         std::span<const ConsumeSpec> consumes);
+                                         std::span<const ConsumeSpec> consumes,
+                                         std::span<obs::QueryTrace* const>
+                                             traces = {});
 
   /// Executes many specs as one scheduled batch: sub-queries are grouped
   /// by partition and each partition's group runs under a single lock
@@ -114,8 +130,20 @@ class ShardedEngine : public Engine {
   std::vector<size_t> TargetPartitions(const QuerySpec& spec) const;
 
   /// Thread-safe copy of the summed cost breakdown. (The inherited cost()
-  /// reference is only safe to read when no query is in flight.)
+  /// reference is only safe to read when no query is in flight.) Also
+  /// drains pending registry increments, so a snapshot point doubles as a
+  /// metrics sync point.
   CostBreakdown CostSnapshot() const;
+
+  /// Drains the engine's batched registry increments into the global
+  /// MetricsRegistry. Per-batch counters accumulate as plain fields under
+  /// cost_mu_ (a lock every batch already takes) and flush every
+  /// kMetricsFlushBatches batches — plus here, in CostSnapshot, in
+  /// SpliceEngines, and at destruction — so the registry lags traffic by
+  /// at most a few dozen batches while the hot path pays ~zero atomics.
+  /// Readers that compare registry values against per-query costs
+  /// (system.metrics fills, the concurrency storm test) call this first.
+  void FlushMetrics() const;
 
   /// Points the execution path at a workload histogram: each partition
   /// group then charges its accesses/latency (and the organizing
@@ -167,18 +195,28 @@ class ShardedEngine : public Engine {
     CostBreakdown cost;
   };
 
+  /// ExecuteBatch's return: per spec, one ShardResult per target
+  /// partition in partition order, plus the partition count the batch
+  /// ran against (gate-stable, so pruning stats don't race the
+  /// repartitioner).
+  struct BatchOutput {
+    std::vector<std::vector<ShardResult>> results;
+    size_t num_partitions = 0;
+  };
+
   /// The one execution path. Groups the sub-queries of `specs` by target
   /// partition, runs each partition's group as one affine task under a
   /// single partition-lock acquisition (materializing every declared
   /// projection — or, for scalar consumption, folding partials — inside
   /// the lock), and sums the cost deltas into cost_. `consumes` is
-  /// parallel to `specs` (empty = materialize everything). Returns, per
-  /// spec, one ShardResult per target partition in partition order. Falls
+  /// parallel to `specs` (empty = materialize everything), as is
+  /// `traces` when non-empty (null entries = untraced). Falls
   /// back to inline execution without a pool, with a single target group,
   /// or when called from a pool worker (an async query's own task must
   /// not block on the pool).
-  std::vector<std::vector<ShardResult>> ExecuteBatch(
-      std::span<const QuerySpec> specs, std::span<const ConsumeSpec> consumes);
+  BatchOutput ExecuteBatch(std::span<const QuerySpec> specs,
+                           std::span<const ConsumeSpec> consumes,
+                           std::span<obs::QueryTrace* const> traces = {});
 
   /// Single-spec convenience over ExecuteBatch (materialize consumption).
   std::vector<ShardResult> ExecuteShards(const QuerySpec& spec);
@@ -192,16 +230,52 @@ class ShardedEngine : public Engine {
   /// mode, outside every lock: scalar modes merge counts/aggregates (no
   /// tuple data moves), ForEach walks the per-partition columns through
   /// the visitor, Materialize defers to MergeShards. Sums the per-shard
-  /// cost attributions into the result's cost.
+  /// cost attributions into the result's cost, stamps
+  /// partitions_touched/pruned from `num_partitions`, and (when `trace`
+  /// is non-null) records the merge span.
   ExecuteResult MergeExecute(const QuerySpec& spec, const ConsumeSpec& consume,
-                             std::vector<ShardResult> shards);
+                             std::vector<ShardResult> shards,
+                             obs::QueryTrace* trace, size_t num_partitions);
+
+  /// Rebuilds the per-partition registry counter family
+  /// (`engine_partition_subqueries_total{table=...,partition=...}`) to
+  /// match engines_.size(). Constructor, and SpliceEngines under the
+  /// exclusively-held map gate (readers hold it shared).
+  void RefreshPartitionCounters();
+
+  /// Registry increments batched between flushes; guarded by cost_mu_.
+  /// Mutable (with FlushMetricsLocked const) so const snapshot paths can
+  /// drain it.
+  struct PendingMetrics {
+    bool dirty = false;  // anything below nonzero since the last flush
+    uint64_t batches = 0;
+    uint64_t subqueries = 0;
+    uint64_t groups = 0;
+    uint64_t pruned = 0;
+    double select_micros = 0.0;
+    double reconstruct_micros = 0.0;
+    double prepare_micros = 0.0;
+    double merge_micros = 0.0;
+    /// Sub-queries served per partition since the last flush; sized to
+    /// engines_.size() lazily (SpliceEngines flushes before indexes
+    /// shift, so entries never survive a partition-map change).
+    std::vector<uint64_t> per_partition;
+  };
+
+  /// FlushMetrics with cost_mu_ already held.
+  void FlushMetricsLocked() const;
 
   const PartitionedRelation* relation_;
   EngineFactory factory_;
   std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<obs::Counter*> partition_counters_;
   ThreadPool* pool_;
   WorkloadHistogram* histogram_ = nullptr;
   mutable std::mutex cost_mu_;
+  mutable PendingMetrics pending_;
+  /// Batch sequence for the 1-in-64 sampling of the group-latency
+  /// histogram (engine_group_micros); relaxed — ordering is irrelevant.
+  std::atomic<uint64_t> group_seq_{0};
   std::atomic<uint64_t> encoded_queries_{0};
   std::atomic<uint64_t> crack_decompressions_{0};
 };

@@ -1,0 +1,248 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace crackdb::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Histogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  size_t b = 0;
+  double bound = 1.0;
+  while (b < kBuckets && v > bound) {
+    bound *= 2.0;
+    ++b;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  AtomicMax(max_, v);
+}
+
+uint64_t Histogram::CumulativeCount(size_t bucket) const {
+  uint64_t total = 0;
+  for (size_t b = 0; b <= bucket && b <= kBuckets; ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::UpperBound(size_t bucket) {
+  if (bucket >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(bucket));  // 2^bucket
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // Node-based containers: references handed out stay valid forever.
+  std::map<std::string, MetricKind> kinds;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*> counter_by_name;
+  std::map<std::string, Gauge*> gauge_by_name;
+  std::map<std::string, Histogram*> histogram_by_name;
+
+  void CheckKind(const std::string& name, MetricKind want) {
+    auto it = kinds.find(name);
+    if (it != kinds.end() && it->second != want) {
+      std::fprintf(stderr,
+                   "MetricsRegistry: metric '%s' re-requested with a "
+                   "different kind\n",
+                   name.c_str());
+      std::abort();
+    }
+  }
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();  // leaked: outlives all static callers
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.CheckKind(name, MetricKind::kCounter);
+  auto it = im.counter_by_name.find(name);
+  if (it != im.counter_by_name.end()) return *it->second;
+  im.counters.emplace_back();
+  Counter* c = &im.counters.back();
+  im.counter_by_name.emplace(name, c);
+  im.kinds.emplace(name, MetricKind::kCounter);
+  return *c;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.CheckKind(name, MetricKind::kGauge);
+  auto it = im.gauge_by_name.find(name);
+  if (it != im.gauge_by_name.end()) return *it->second;
+  im.gauges.emplace_back();
+  Gauge* g = &im.gauges.back();
+  im.gauge_by_name.emplace(name, g);
+  im.kinds.emplace(name, MetricKind::kGauge);
+  return *g;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.CheckKind(name, MetricKind::kHistogram);
+  auto it = im.histogram_by_name.find(name);
+  if (it != im.histogram_by_name.end()) return *it->second;
+  im.histograms.emplace_back();
+  Histogram* h = &im.histograms.back();
+  im.histogram_by_name.emplace(name, h);
+  im.kinds.emplace(name, MetricKind::kHistogram);
+  return *h;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<MetricSample> out;
+  out.reserve(im.kinds.size());
+  for (const auto& [name, kind] : im.kinds) {
+    MetricSample s;
+    s.name = name;
+    s.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        s.value = im.counter_by_name.at(name)->value();
+        break;
+      case MetricKind::kGauge:
+        s.value = im.gauge_by_name.at(name)->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram* h = im.histogram_by_name.at(name);
+        s.value = h->sum();
+        s.count = h->count();
+        s.max = h->max();
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::string WithLabel(const std::string& base, const std::string& key,
+                      const std::string& value) {
+  // Compose onto an already-labelled base: a{x="1"} + (y,2) -> a{x="1",y="2"}
+  std::string out;
+  const size_t brace = base.find('{');
+  if (brace == std::string::npos) {
+    out = base + "{" + key + "=\"" + value + "\"}";
+  } else {
+    out = base.substr(0, base.size() - 1) + "," + key + "=\"" + value + "\"}";
+  }
+  return out;
+}
+
+std::string WithLabel(const std::string& base, const std::string& key,
+                      int64_t value) {
+  return WithLabel(base, key, std::to_string(value));
+}
+
+namespace {
+
+// Split `base{labels}` into base and the inner label list (may be empty).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace + 1, name.size() - brace - 2);
+  }
+}
+
+void AppendNumber(std::string* out, double v) {
+  if (std::isinf(v)) {
+    *out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RenderMetricsText() {
+  const std::vector<MetricSample> samples =
+      MetricsRegistry::Global().Snapshot();
+  std::string out;
+  out.reserve(samples.size() * 64);
+  std::string last_typed_base;
+  for (const MetricSample& s : samples) {
+    std::string base, labels;
+    SplitLabels(s.name, &base, &labels);
+    if (base != last_typed_base) {
+      out += "# TYPE " + base + " ";
+      out += s.kind == MetricKind::kCounter   ? "counter"
+             : s.kind == MetricKind::kGauge   ? "gauge"
+                                              : "histogram";
+      out += "\n";
+      last_typed_base = base;
+    }
+    if (s.kind != MetricKind::kHistogram) {
+      out += s.name + " ";
+      AppendNumber(&out, s.value);
+      out += "\n";
+      continue;
+    }
+    const Histogram& h = MetricsRegistry::Global().GetHistogram(s.name);
+    for (size_t b = 0; b <= Histogram::kBuckets; ++b) {
+      out += base + "_bucket{";
+      if (!labels.empty()) out += labels + ",";
+      out += "le=\"";
+      AppendNumber(&out, Histogram::UpperBound(b));
+      out += "\"} ";
+      AppendNumber(&out, static_cast<double>(h.CumulativeCount(b)));
+      out += "\n";
+    }
+    out += base + "_sum";
+    if (!labels.empty()) out += "{" + labels + "}";
+    out += " ";
+    AppendNumber(&out, s.value);
+    out += "\n";
+    out += base + "_count";
+    if (!labels.empty()) out += "{" + labels + "}";
+    out += " ";
+    AppendNumber(&out, static_cast<double>(s.count));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace crackdb::obs

@@ -1,0 +1,28 @@
+#include "obs/query_log.h"
+
+namespace crackdb::obs {
+
+uint64_t QueryLog::Append(QueryLogEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.query_id = next_id_++;
+  const uint64_t id = entry.query_id;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[head_] = std::move(entry);
+    head_ = (head_ + 1) % capacity_;
+  }
+  return id;
+}
+
+std::vector<QueryLogEntry> QueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryLogEntry> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace crackdb::obs

@@ -1,0 +1,60 @@
+// Fixed-capacity ring buffer of recently finished queries. The Database
+// owns one and appends entries from the fluent Execute path: every traced
+// and every system.* query, plus a 1-in-64 sample of the untraced rest
+// (system.* queries therefore see themselves in system.query_log on the
+// *next* read — the snapshot is taken before the append). Sampling keeps
+// the overhead contract: an append is a mutex acquisition plus a string
+// copy, far over the per-query budget bench_observability enforces.
+// Appends are skipped entirely when obs::MetricsEnabled() is off, keeping
+// the disabled arm byte-identical to the pre-observability path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace crackdb::obs {
+
+struct QueryLogEntry {
+  uint64_t query_id = 0;          // monotone per Database
+  std::string table;
+  int32_t kind = 0;               // ConsumeKind as int
+  uint64_t rows = 0;              // result count
+  // Engine-attributed execution micros (select + reconstruct + prepare):
+  // derived from the result's CostBreakdown, so logging stays clock-free.
+  // Wall time, when it matters, lives in the trace.
+  double engine_micros = 0.0;
+  double select_micros = 0.0;
+  double reconstruct_micros = 0.0;
+  uint32_t partitions_touched = 0;
+  uint32_t partitions_pruned = 0;
+  bool traced = false;
+  std::shared_ptr<const QueryTrace> trace;  // null unless traced
+};
+
+class QueryLog {
+ public:
+  explicit QueryLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  // Stamps entry.query_id and appends; evicts the oldest entry at
+  // capacity. Returns the assigned id.
+  uint64_t Append(QueryLogEntry entry);
+
+  // Oldest-first snapshot of the retained window.
+  std::vector<QueryLogEntry> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 0;
+  size_t head_ = 0;               // index of the oldest entry
+  std::vector<QueryLogEntry> ring_;
+};
+
+}  // namespace crackdb::obs

@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace crackdb::obs {
+
+QueryTrace::QueryTrace() : epoch_(std::chrono::steady_clock::now()) {
+  spans_.push_back(TraceSpan{/*id=*/0, TraceSpan::kNoParent, /*partition=*/-1,
+                             "query", /*start=*/0.0, /*duration=*/0.0});
+}
+
+double QueryTrace::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint32_t QueryTrace::AddSpan(uint32_t parent, int32_t partition,
+                             std::string name, double start_micros,
+                             double duration_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = static_cast<uint32_t>(spans_.size());
+  spans_.push_back(TraceSpan{id, parent, partition, std::move(name),
+                             start_micros, duration_micros});
+  return id;
+}
+
+void QueryTrace::SetDuration(uint32_t id, double duration_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < spans_.size()) spans_[id].duration_micros = duration_micros;
+}
+
+std::vector<TraceSpan> QueryTrace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+double QueryTrace::ChildMicros() const {
+  // Union, not sum: the root's children overlap by construction — every
+  // partition span opens at fan-out so its queue wait nests inside it,
+  // which means concurrent (or concurrently-waiting) partitions cover
+  // the same stretch of the timeline. The covered-interval union is the
+  // honest "time the tree accounts for".
+  std::vector<std::pair<double, double>> intervals;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceSpan& s : spans_) {
+      if (s.parent != kRootSpan) continue;
+      intervals.emplace_back(s.start_micros,
+                             s.start_micros + s.duration_micros);
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0.0;
+  double covered_to = -1.0;
+  for (const auto& [start, end] : intervals) {
+    const double from = std::max(start, covered_to);
+    if (end > from) total += end - from;
+    covered_to = std::max(covered_to, end);
+  }
+  return total;
+}
+
+namespace {
+
+void FormatNode(const std::vector<TraceSpan>& spans,
+                const std::vector<std::vector<uint32_t>>& children,
+                uint32_t id, int depth, std::string* out) {
+  const TraceSpan& s = spans[id];
+  char line[160];
+  std::string label = s.name;
+  if (s.partition >= 0) {
+    label.push_back(' ');
+    label += std::to_string(s.partition);
+  }
+  std::snprintf(line, sizeof(line), "%*s%-*s %10.1fus  @%.1f\n", depth * 2,
+                "", 32 - depth * 2, label.c_str(), s.duration_micros,
+                s.start_micros);
+  *out += line;
+  for (uint32_t child : children[id]) {
+    FormatNode(spans, children, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryTrace::Format() const {
+  const std::vector<TraceSpan> spans = Spans();
+  std::vector<std::vector<uint32_t>> children(spans.size());
+  for (const TraceSpan& s : spans) {
+    if (s.parent != TraceSpan::kNoParent && s.parent < spans.size()) {
+      children[s.parent].push_back(s.id);
+    }
+  }
+  for (auto& kids : children) {
+    std::sort(kids.begin(), kids.end(), [&](uint32_t a, uint32_t b) {
+      return spans[a].start_micros < spans[b].start_micros;
+    });
+  }
+  std::string out;
+  if (!spans.empty()) FormatNode(spans, children, 0, 0, &out);
+  return out;
+}
+
+}  // namespace crackdb::obs

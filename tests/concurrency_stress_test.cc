@@ -22,6 +22,7 @@
 #include "bench_util/workload.h"
 #include "common/rng.h"
 #include "engine/plain_engine.h"
+#include "obs/metrics.h"
 #include "storage/catalog.h"
 
 namespace crackdb {
@@ -517,6 +518,114 @@ TEST_P(ConcurrencyStressTest, RepartitionStormEqualsSerialReplay) {
   EXPECT_GT(stats.splits + stats.merges, 0u);
   ASSERT_EQ(ZipRows(db.Query("R", full_scan)),
             ZipRows(reference.Run(full_scan)));
+}
+
+// The observability storm: four client threads of mixed single and
+// batched scalar queries, with every per-query CostBreakdown summed on
+// the side. At the documented sync points the global registry must agree
+// exactly with what the queries themselves reported — the deferred-flush
+// pipeline (batched under the engine's cost mutex, drained every N
+// batches and at CostSnapshot) loses nothing under contention. Runs
+// under TSan via the `concurrency` label like the rest of this suite.
+TEST_P(ConcurrencyStressTest, MetricsStormMatchesSummedQueryCosts) {
+  obs::SetMetricsEnabled(true);
+  auto metric = [](const char* name) {
+    for (const obs::MetricSample& s :
+         obs::MetricsRegistry::Global().Snapshot()) {
+      if (s.name == name) return s.value;
+    }
+    return 0.0;
+  };
+  // Make both the registry and the per-Database query counter exact
+  // before taking baselines: CostSnapshot drains the engine's pending
+  // tallies, the system.metrics query reconciles db_queries_total.
+  ASSERT_TRUE(db_->From("system.metrics").Count().Execute().ok());
+  (void)db_->engine("R").CostSnapshot();
+  const double base_sub = metric("engine_subqueries_total");
+  const double base_pruned = metric("engine_partitions_pruned_total");
+  const double base_select = metric("engine_select_micros_total");
+  const double base_queries = metric("db_queries_total");
+
+  struct ThreadTally {
+    size_t queries = 0;
+    size_t touched = 0;
+    size_t pruned = 0;
+    double select_micros = 0.0;
+  };
+  std::vector<ThreadTally> tallies(kThreads);
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> clients;
+  for (size_t tid = 0; tid < kThreads; ++tid) {
+    clients.emplace_back([this, tid, &tallies, &failures] {
+      Rng rng(6100 + tid);
+      ThreadTally& tally = tallies[tid];
+      auto record = [&tally](const ExecuteResult& r) {
+        ++tally.queries;
+        tally.touched += r.partitions_touched;
+        tally.pruned += r.partitions_pruned;
+        tally.select_micros += r.cost.select_micros;
+      };
+      for (int round = 0; round < 12; ++round) {
+        const Value lo = rng.Uniform(1, kDomain - 300);
+        if (round % 3 == 0) {
+          // A batch: three predicates answered under one fan-out.
+          std::vector<Query> queries;
+          for (int i = 0; i < 3; ++i) {
+            queries.push_back(db_->From("R")
+                                  .Where(AttrName(1), lo + i * 40,
+                                         lo + 300 + i * 40)
+                                  .Count()
+                                  .Build());
+          }
+          auto results = db_->ExecuteBatch(queries);
+          for (const auto& r : results) {
+            if (!r.ok()) {
+              failures[tid] = "batch error: " + r.error();
+              return;
+            }
+            record(*r);
+          }
+        } else {
+          auto r = db_->From("R")
+                       .Where(AttrName(1), lo, lo + 300)
+                       .Aggregate(AggregateOp::kSum, AttrName(2))
+                       .Execute();
+          if (!r.ok()) {
+            failures[tid] = "query error: " + r.error();
+            return;
+          }
+          record(*r);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (const std::string& failure : failures) {
+    ASSERT_TRUE(failure.empty()) << failure;
+  }
+
+  ThreadTally total;
+  for (const ThreadTally& t : tallies) {
+    total.queries += t.queries;
+    total.touched += t.touched;
+    total.pruned += t.pruned;
+    total.select_micros += t.select_micros;
+  }
+  // Sync, then compare. The final system.metrics query reconciles the
+  // sampled query counter, so the delta includes it plus the baseline
+  // reconciliation query itself having already landed.
+  (void)db_->engine("R").CostSnapshot();
+  ASSERT_TRUE(db_->From("system.metrics").Count().Execute().ok());
+  EXPECT_EQ(metric("engine_subqueries_total") - base_sub,
+            static_cast<double>(total.touched)) << GetParam();
+  EXPECT_EQ(metric("engine_partitions_pruned_total") - base_pruned,
+            static_cast<double>(total.pruned)) << GetParam();
+  // Micros are double sums accumulated in different orders on the two
+  // sides; agreement is to rounding, not bit-exact.
+  EXPECT_NEAR(metric("engine_select_micros_total") - base_select,
+              total.select_micros, 0.5) << GetParam();
+  EXPECT_EQ(metric("db_queries_total") - base_queries,
+            static_cast<double>(total.queries + 1)) << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(CrackingKinds, ConcurrencyStressTest,

@@ -24,6 +24,7 @@
 #include "engine/engine_factory.h"
 #include "engine/plain_engine.h"
 #include "engine/query.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace crackdb {
@@ -173,12 +174,20 @@ class GroupByTest : public ::testing::TestWithParam<const char*> {
                    .Aggregate(AggregateOp::kMin, AttrName(2))
                    .Aggregate(AggregateOp::kMax, AttrName(2))
                    .Aggregate(AggregateOp::kCount, AttrName(2))
+                   .Trace()
                    .Execute();
       ASSERT_TRUE(r.ok()) << r.error();
       ExpectMatchesOracle(r->groups, oracle,
                           std::string(GetParam()) + "/sharded/pool=" +
                               std::to_string(pool));
       EXPECT_EQ(r->cost.reconstruct_micros, 0u);
+      // The span timeline agrees with the CostBreakdown: the grouped
+      // pushdown folds in place, so no partition recorded a tuple-
+      // reconstruction ("fetch") span.
+      ASSERT_NE(r->trace, nullptr);
+      for (const obs::TraceSpan& s : r->trace->Spans()) {
+        EXPECT_NE(s.name, "fetch") << GetParam();
+      }
     }
   }
 

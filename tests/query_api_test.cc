@@ -26,6 +26,7 @@
 #include "engine/database.h"
 #include "engine/engine_factory.h"
 #include "engine/plain_engine.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace crackdb {
@@ -585,9 +586,16 @@ TEST_F(QueryApiTest, ScalarModesReportZeroReconstruction) {
       auto sum = db->From("R")
                      .Where(AttrName(1), lo, lo + 150)
                      .Aggregate(AggregateOp::kSum, AttrName(2))
+                     .Trace()
                      .Execute();
       ASSERT_TRUE(sum.ok()) << sum.error();
       EXPECT_EQ(sum->cost.reconstruct_micros, 0.0) << kind;
+      // Re-asserted through the span timeline: a scalar fold records no
+      // tuple-reconstruction ("fetch") span in any partition.
+      ASSERT_NE(sum->trace, nullptr) << kind;
+      for (const obs::TraceSpan& s : sum->trace->Spans()) {
+        EXPECT_NE(s.name, "fetch") << kind;
+      }
     }
     // The engine's cumulative breakdown agrees: nothing but scalar modes
     // ran on this database, so total reconstruction is exactly zero.
